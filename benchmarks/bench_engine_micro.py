@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the engine's hot paths.
+
+These are conventional pytest-benchmark measurements (calibrated rounds): the
+per-iteration cost of the Costas model's vectorised candidate evaluation, the
+full cost function, the dedicated reset, and a complete small solve.  They
+give the repository a regression guard on raw engine speed, which everything
+else (pool collection, tables, examples) depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import AdaptiveSearch
+from repro.core.params import ASParameters
+from repro.models.costas import CostasProblem
+
+ORDER = 16
+
+
+@pytest.fixture
+def problem() -> CostasProblem:
+    prob = CostasProblem(ORDER)
+    prob.set_configuration(np.random.default_rng(0).permutation(ORDER))
+    return prob
+
+
+def test_swap_deltas_vectorised(benchmark, problem):
+    benchmark(problem.swap_deltas, ORDER // 2)
+
+
+def test_variable_errors(benchmark, problem):
+    benchmark(problem.variable_errors)
+
+
+def test_full_cost_evaluation(benchmark, problem):
+    config = problem.configuration()
+    benchmark(problem.set_configuration, config)
+
+
+def test_dedicated_reset(benchmark, problem):
+    rng = np.random.default_rng(1)
+    benchmark(problem.custom_reset, rng)
+
+
+def test_solve_costas_order_10(benchmark):
+    params = ASParameters.for_costas(10)
+
+    def run():
+        result = AdaptiveSearch().solve(CostasProblem(10), seed=5, params=params)
+        assert result.solved
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 2 — speed-ups w.r.t. the smallest core count."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2_speedups_track_ideal(benchmark, scale, runner):
+    result = run_experiment_once(benchmark, run_figure2, scale, runner)
+    by_machine = {}
+    for row in result.rows:
+        by_machine.setdefault(row["machine"], []).append(row)
+    for machine, rows in by_machine.items():
+        rows.sort(key=lambda r: r["cores"])
+        # Speed-up grows with the core count and stays a significant fraction
+        # of ideal (the paper's "times halve when cores double" claim; some
+        # saturation is expected at reproduction scale).
+        speedups = [r["speedup"] for r in rows]
+        assert speedups == sorted(speedups), machine
+        assert rows[1]["efficiency"] > 0.5, machine

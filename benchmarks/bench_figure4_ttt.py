@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 4 — time-to-target plots and exponential fits."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4_time_to_target(benchmark, scale, runner):
+    result = run_experiment_once(benchmark, run_figure4, scale, runner)
+    rows = sorted(result.rows, key=lambda r: r["cores"])
+    # The runtime distributions should be reasonably approximated by a shifted
+    # exponential (the paper's visual claim), quantified by the KS distance.
+    assert all(row["ks_distance"] < 0.35 for row in rows)
+    # More cores -> higher probability of reaching the target within the
+    # common reference time (the 50% / 75% / 95% / 100% reading of Figure 4).
+    probs = [row["prob_within_reference_time"] for row in rows]
+    assert probs == sorted(probs)
+    assert probs[0] >= 0.3 and probs[-1] >= 0.9

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Table I — sequential Adaptive Search evaluation."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_sequential_evaluation(benchmark, scale, runner):
+    result = run_experiment_once(benchmark, run_table1, scale, runner)
+    # Sanity of the paper's two headline observations at this scale:
+    # (1) solving effort grows steeply with the order,
+    iters = [row["iterations_avg"] for row in result.rows]
+    assert iters == sorted(iters)
+    assert iters[-1] > 2 * iters[0]
+    # (2) the best run is far faster than the average run.
+    assert all(row["ratio_avg_over_min"] >= 2 for row in result.rows[1:])

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table III — simulated HA8000 execution times (1–256 cores)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3_ha8000_parallel_times(benchmark, scale, runner):
+    result = run_experiment_once(benchmark, run_table3, scale, runner)
+    stats = result.metadata["statistics"]
+    cores = result.metadata["cores"]
+    for order in result.metadata["orders"]:
+        avg_times = [stats[order][str(c)]["avg"] for c in cores]
+        max_times = [stats[order][str(c)]["max"] for c in cores]
+        # Paper claims: average time drops as cores increase, and the max/min
+        # spread narrows a lot with more cores.
+        assert avg_times[-1] < avg_times[0]
+        assert max_times[-1] < max_times[0]

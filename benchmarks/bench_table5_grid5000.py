@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table V — simulated Grid'5000 (Suno / Helios) execution times."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.table5 import run_table5
+
+
+def test_table5_grid5000_parallel_times(benchmark, scale, runner):
+    result = run_experiment_once(benchmark, run_table5, scale, runner)
+    for cluster_key in ("suno", "helios"):
+        meta = result.metadata[cluster_key]
+        stats = meta["statistics"]
+        cores = meta["cores"]
+        for order in meta["orders"]:
+            avg_times = [stats[order][str(c)]["avg"] for c in cores]
+            assert avg_times[-1] < avg_times[0]
+    # Helios (2.2 GHz) should be no faster than Suno (2.4 GHz) on the
+    # sequential column, mirroring the paper's slower-cluster observation.
+    suno = result.metadata["suno"]["statistics"]
+    helios = result.metadata["helios"]["statistics"]
+    common_orders = set(suno) & set(helios)
+    for order in common_orders:
+        assert helios[order]["1"]["avg"] >= suno[order]["1"]["avg"]

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper through the
+experiment drivers in :mod:`repro.experiments`.  The drivers share a single
+:class:`~repro.parallel.runner.ExperimentRunner` per session so the expensive
+sequential run pools are collected once and reused by every table that needs
+them (exactly like the paper reuses one implementation across testbeds).
+
+Experiment regeneration is measured with ``benchmark.pedantic(rounds=1)`` —
+the quantity of interest is the table content, not a micro-timing — while the
+micro-benchmarks in ``bench_engine.py`` use the normal calibrated mode.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to also see the
+regenerated tables on stdout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+from repro.parallel.runner import ExperimentRunner
+
+# The scale preset benchmarks run at.  "default" keeps every qualitative claim
+# of the paper visible while staying laptop-friendly; switch to "paper" to
+# attempt the full-size experiments (very slow in pure Python).
+BENCH_SCALE = "default"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.by_name(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+def run_experiment_once(benchmark, driver, scale, runner):
+    """Run one experiment driver exactly once under pytest-benchmark timing."""
+    result = benchmark.pedantic(driver, args=(scale, runner), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    return result

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Time-to-target analysis: why independent multi-walks scale (Figure 4).
+
+Collects a pool of sequential Adaptive Search runs on one CAP instance, fits a
+shifted exponential to the runtime distribution, and prints an ASCII
+time-to-target plot for several simulated core counts — the reproduction of
+Figure 4 plus the Verhoeven & Aarts argument that an exponential runtime
+distribution makes independent multi-walk parallelism (nearly) linear.
+
+Run with::
+
+    python examples/time_to_target.py [order] [pool_runs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.ttt import (
+    empirical_cdf,
+    fit_shifted_exponential,
+    ks_distance,
+    predicted_speedup,
+    sample_min_of_k,
+)
+from repro.experiments.base import costas_factory, costas_params
+from repro.parallel.runner import ExperimentRunner
+
+
+def ascii_cdf(label: str, values: np.ndarray, width: int = 50, bins: int = 12) -> None:
+    xs, ps = empirical_cdf(values)
+    print(f"\n  {label}")
+    grid = np.linspace(xs[0], xs[-1], bins)
+    for t in grid:
+        p = float(np.searchsorted(xs, t, side="right")) / xs.size
+        bar = "#" * int(round(p * width))
+        print(f"    t <= {t:10.0f} it | {bar:<{width}} {p:5.1%}")
+
+
+def main(order: int = 12, pool_runs: int = 150) -> None:
+    runner = ExperimentRunner()
+    print(f"Collecting {pool_runs} sequential runs of CAP {order} ...")
+    pool = runner.collect_pool(costas_factory(order), costas_params(order), pool_runs)
+    iterations = pool.iterations()
+    print(f"  avg {iterations.mean():.0f} iterations, median {np.median(iterations):.0f}, "
+          f"min {iterations.min():.0f}, max {iterations.max():.0f}")
+
+    fit = fit_shifted_exponential(iterations)
+    print(f"\nShifted-exponential fit: shift={fit.shift:.1f}, scale={fit.scale:.1f} "
+          f"(mean {fit.mean:.1f} iterations)")
+    print(f"Kolmogorov-Smirnov distance to the sample: {ks_distance(iterations, fit):.3f} "
+          "(small = the distribution really is close to exponential)")
+
+    print("\nPredicted multi-walk speed-ups under the exponential model:")
+    for cores in (16, 32, 64, 128, 256, 1024):
+        print(f"  {cores:5d} cores -> x{predicted_speedup(fit, cores):7.1f} "
+              f"(ideal x{cores})")
+
+    print("\nEmpirical time-to-target curves (bootstrap of the measured pool):")
+    ascii_cdf("1 walk (sequential)", iterations)
+    for cores in (32, 128):
+        mins = sample_min_of_k(iterations, cores, 400, rng=cores)
+        ascii_cdf(f"minimum of {cores} independent walks", mins)
+
+
+if __name__ == "__main__":
+    order = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    pool_runs = int(sys.argv[2]) if len(sys.argv) > 2 else 150
+    main(order, pool_runs)

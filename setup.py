@@ -1,0 +1,7 @@
+"""Compatibility shim so editable installs work on environments without the
+``wheel`` package (offline machines where PEP 660 editable wheels cannot be
+built).  All real metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

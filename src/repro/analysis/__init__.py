@@ -1,0 +1,48 @@
+"""Statistical analysis of solver runs: aggregation, speed-ups, time-to-target.
+
+The paper's evaluation reports three kinds of quantities, each covered by one
+module here:
+
+* :mod:`repro.analysis.stats` — per-instance aggregation of repeated runs
+  (average / median / minimum / maximum, and the best-vs-average ratio that
+  motivates parallelisation) — Tables I, III, IV, V;
+* :mod:`repro.analysis.speedup` — speed-up tables and ideal-speed-up
+  references — Figures 2 and 3;
+* :mod:`repro.analysis.ttt` — time-to-target plots: empirical runtime CDFs,
+  shifted-exponential fits, and the predicted behaviour of the minimum of
+  ``k`` independent runs — Figure 4 and the theoretical justification of the
+  linear speed-ups (Verhoeven & Aarts);
+* :mod:`repro.analysis.tables` — plain-text rendering of paper-style tables
+  used by the benchmark harness and the CLI.
+"""
+
+from repro.analysis.stats import RunSummary, summarize, summarize_results, best_to_average_ratio
+from repro.analysis.speedup import SpeedupPoint, speedup_series, ideal_speedup, efficiency
+from repro.analysis.ttt import (
+    ExponentialFit,
+    empirical_cdf,
+    fit_shifted_exponential,
+    min_of_k_expectation,
+    predicted_speedup,
+    time_to_target_curve,
+)
+from repro.analysis.tables import format_table, format_paper_table
+
+__all__ = [
+    "RunSummary",
+    "summarize",
+    "summarize_results",
+    "best_to_average_ratio",
+    "SpeedupPoint",
+    "speedup_series",
+    "ideal_speedup",
+    "efficiency",
+    "ExponentialFit",
+    "empirical_cdf",
+    "fit_shifted_exponential",
+    "min_of_k_expectation",
+    "predicted_speedup",
+    "time_to_target_curve",
+    "format_table",
+    "format_paper_table",
+]

@@ -1,0 +1,93 @@
+"""Speed-up and parallel-efficiency computations (Figures 2 and 3).
+
+The paper plots, on a log-log scale, the average (and median) solving time
+against the number of cores, together with the ideal linear-speed-up line.
+Figure 2 normalises by the 32-core time (sequential runs being impractical for
+the largest instances), Figure 3 by the 512- or 2,048-core time on JUGENE —
+so the reference core count is a parameter here, not an assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["SpeedupPoint", "speedup_series", "ideal_speedup", "efficiency"]
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """Speed-up of one core count relative to the reference core count."""
+
+    cores: int
+    time: float
+    speedup: float
+    ideal: float
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the ideal speed-up achieved (1.0 = perfectly linear)."""
+        if self.ideal == 0:
+            return 0.0
+        return self.speedup / self.ideal
+
+
+def speedup_series(
+    times_by_cores: Mapping[int, float],
+    *,
+    reference_cores: int | None = None,
+) -> List[SpeedupPoint]:
+    """Turn a ``{cores: time}`` mapping into a speed-up series.
+
+    ``reference_cores`` defaults to the smallest core count present (the
+    paper's Figure 2 uses 32, Figure 3 uses 512/2048 — always the smallest
+    measured configuration).  Speed-up of ``k`` cores is
+    ``time(reference) / time(k)``; the ideal value is ``k / reference``.
+    """
+    if not times_by_cores:
+        raise AnalysisError("times_by_cores is empty")
+    for cores, t in times_by_cores.items():
+        if cores < 1:
+            raise AnalysisError(f"core counts must be >= 1, got {cores}")
+        if t <= 0:
+            raise AnalysisError(f"times must be positive, got {t} for {cores} cores")
+    if reference_cores is None:
+        reference_cores = min(times_by_cores)
+    if reference_cores not in times_by_cores:
+        raise AnalysisError(
+            f"reference core count {reference_cores} missing from the measurements"
+        )
+    ref_time = times_by_cores[reference_cores]
+    series = []
+    for cores in sorted(times_by_cores):
+        t = times_by_cores[cores]
+        series.append(
+            SpeedupPoint(
+                cores=cores,
+                time=t,
+                speedup=ref_time / t,
+                ideal=cores / reference_cores,
+            )
+        )
+    return series
+
+
+def ideal_speedup(core_counts: Sequence[int], *, reference_cores: int | None = None) -> Dict[int, float]:
+    """The ideal (linear) speed-up line for the given core counts."""
+    if not core_counts:
+        raise AnalysisError("core_counts is empty")
+    reference = reference_cores if reference_cores is not None else min(core_counts)
+    if reference < 1:
+        raise AnalysisError(f"reference core count must be >= 1, got {reference}")
+    return {int(c): c / reference for c in core_counts}
+
+
+def efficiency(points: Sequence[SpeedupPoint]) -> Dict[int, float]:
+    """Parallel efficiency (achieved / ideal speed-up) per core count."""
+    if not points:
+        raise AnalysisError("no speed-up points given")
+    return {p.cores: p.efficiency for p in points}

@@ -1,0 +1,120 @@
+"""Aggregation of repeated stochastic-solver runs.
+
+Every evaluation table of the paper reports, for a set of repeated runs of the
+same instance, the average, the median (parallel tables), the minimum and the
+maximum, and — for the sequential Table I — the ratio between the average and
+the best run, which is the observation that motivates the whole multi-walk
+approach ("the best case is much faster than the average case").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import SolveResult
+from repro.exceptions import AnalysisError
+
+__all__ = ["RunSummary", "summarize", "summarize_results", "best_to_average_ratio"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Five-number-style summary of a collection of scalar measurements."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    std: float
+    total: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly view."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "min": self.minimum,
+            "max": self.maximum,
+            "std": self.std,
+            "total": self.total,
+        }
+
+    @property
+    def best_to_average_ratio(self) -> float:
+        """``mean / min`` — the "ratio" column of Table I (∞ when the best is 0)."""
+        if self.minimum <= 0:
+            return float("inf")
+        return self.mean / self.minimum
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} avg={self.mean:.3g} med={self.median:.3g} "
+            f"min={self.minimum:.3g} max={self.maximum:.3g}"
+        )
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> RunSummary:
+    """Summarise a sequence of scalar measurements (times, iteration counts, …)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise AnalysisError("cannot summarise an empty collection of measurements")
+    if not np.all(np.isfinite(arr)):
+        raise AnalysisError("measurements contain non-finite values")
+    return RunSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        total=float(arr.sum()),
+    )
+
+
+def summarize_results(
+    results: Iterable[SolveResult],
+    *,
+    metric: str = "wall_time",
+    solved_only: bool = True,
+) -> RunSummary:
+    """Summarise one numeric attribute of a collection of :class:`SolveResult`.
+
+    ``metric`` may be any numeric ``SolveResult`` attribute
+    (``"wall_time"``, ``"iterations"``, ``"local_minima"``, …).  By default
+    only solved runs are aggregated, which is how the paper's tables treat
+    runs (every reported run solved its instance).
+    """
+    values: List[float] = []
+    for result in results:
+        if solved_only and not result.solved:
+            continue
+        if not hasattr(result, metric):
+            raise AnalysisError(f"SolveResult has no attribute {metric!r}")
+        values.append(float(getattr(result, metric)))
+    if not values:
+        raise AnalysisError(
+            f"no {'solved ' if solved_only else ''}runs to summarise for metric {metric!r}"
+        )
+    return summarize(values)
+
+
+def best_to_average_ratio(
+    values: Sequence[float] | np.ndarray, *, fallback: Optional[Sequence[float]] = None
+) -> float:
+    """``mean(values) / min(values)``, optionally falling back to another metric.
+
+    Table I computes the ratio on times but falls back to iteration counts when
+    the minimum time rounds to zero; pass the iteration counts as *fallback*
+    to reproduce that rule.
+    """
+    summary = summarize(values)
+    if summary.minimum > 0:
+        return summary.best_to_average_ratio
+    if fallback is not None:
+        return best_to_average_ratio(fallback)
+    return float("inf")

@@ -1,0 +1,175 @@
+"""Time-to-target analysis (Figure 4) and the theory behind multi-walk speed-ups.
+
+A *time-to-target* (TTT) plot shows, for a stochastic solver and a fixed
+target (here: cost 0, i.e. a solution), the empirical cumulative distribution
+of the solving time over many runs.  Aiex, Resende & Ribeiro popularised the
+methodology; the paper uses it to show that the CAP runtime distribution is
+very close to a **shifted exponential** ``F(x) = 1 - exp(-(x - mu) / lambda)``,
+which by Verhoeven & Aarts' classical argument implies that independent
+multi-walk parallelism achieves (nearly) linear speed-up: the minimum of ``k``
+i.i.d. shifted-exponential runtimes is again shifted exponential with scale
+``lambda / k``, so the expected parallel time is ``mu + lambda / k`` — linear
+in ``1/k`` as long as the shift ``mu`` is small compared to ``lambda``.
+
+This module provides the empirical CDF, a simple and robust fit of the shifted
+exponential (method of moments / quantiles), the induced predictions for the
+minimum of ``k`` runs, and a Kolmogorov–Smirnov-style distance so tests can
+assert "the runtime distribution really is approximately exponential" on the
+reproduction's own data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "ExponentialFit",
+    "empirical_cdf",
+    "time_to_target_curve",
+    "fit_shifted_exponential",
+    "ks_distance",
+    "min_of_k_expectation",
+    "predicted_speedup",
+    "sample_min_of_k",
+]
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Parameters of a shifted exponential ``1 - exp(-(x - shift) / scale)``."""
+
+    shift: float
+    scale: float
+
+    def cdf(self, x: np.ndarray | float) -> np.ndarray | float:
+        """CDF value(s) at *x* (0 below the shift)."""
+        arr = np.asarray(x, dtype=np.float64)
+        out = 1.0 - np.exp(-np.maximum(arr - self.shift, 0.0) / self.scale)
+        return float(out) if np.isscalar(x) else out
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at probability *q*."""
+        if not 0.0 <= q < 1.0:
+            raise AnalysisError(f"quantile probability must be in [0, 1), got {q}")
+        return self.shift - self.scale * float(np.log1p(-q))
+
+    @property
+    def mean(self) -> float:
+        """Expected value ``shift + scale``."""
+        return self.shift + self.scale
+
+    def min_of_k(self, k: int) -> "ExponentialFit":
+        """Distribution of the minimum of *k* i.i.d. copies (scale divided by k)."""
+        if k < 1:
+            raise AnalysisError(f"k must be >= 1, got {k}")
+        return ExponentialFit(self.shift, self.scale / k)
+
+
+def empirical_cdf(values: Sequence[float] | np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, probabilities)`` of the empirical CDF.
+
+    Probabilities use the conventional plotting positions ``(i - 0.5) / n`` so
+    the curve never touches 0 or 1 exactly (the same convention as the TTT
+    plot tooling the paper cites).
+    """
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        raise AnalysisError("cannot build a CDF from an empty sample")
+    probs = (np.arange(1, arr.size + 1) - 0.5) / arr.size
+    return arr, probs
+
+
+def time_to_target_curve(
+    values: Sequence[float] | np.ndarray, *, targets: int = 200
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Probability of having reached the target within ``t`` for a grid of ``t``.
+
+    Convenience resampling of the empirical CDF onto an evenly spaced time
+    grid from 0 to the sample maximum, handy for plotting several core counts
+    on a common axis as in Figure 4.
+    """
+    xs, ps = empirical_cdf(values)
+    if targets < 2:
+        raise AnalysisError(f"targets must be >= 2, got {targets}")
+    grid = np.linspace(0.0, float(xs[-1]), targets)
+    probs = np.searchsorted(xs, grid, side="right") / xs.size
+    return grid, probs
+
+
+def fit_shifted_exponential(values: Sequence[float] | np.ndarray) -> ExponentialFit:
+    """Fit ``1 - exp(-(x - mu)/lambda)`` to a runtime sample.
+
+    The shift is estimated from the sample minimum (slightly deflated so the
+    smallest observation has positive density) and the scale by the method of
+    moments on the remainder.  This mirrors the standard TTT-plot methodology,
+    is robust for the heavy right tails local search produces, and requires no
+    optimisation libraries.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size < 2:
+        raise AnalysisError("need at least two observations to fit a distribution")
+    if np.any(arr < 0):
+        raise AnalysisError("runtimes must be non-negative")
+    minimum = float(arr.min())
+    mean = float(arr.mean())
+    # Deflate the shift a little so the smallest observation is not exactly at
+    # probability zero; the 'n+1' correction keeps the estimator consistent.
+    shift = max(0.0, minimum - (mean - minimum) / max(arr.size - 1, 1))
+    scale = mean - shift
+    if scale <= 0:
+        # Degenerate sample (all values equal): fall back to a tiny scale.
+        scale = max(abs(mean), 1.0) * 1e-9
+    return ExponentialFit(shift=shift, scale=scale)
+
+
+def ks_distance(values: Sequence[float] | np.ndarray, fit: ExponentialFit) -> float:
+    """Kolmogorov–Smirnov distance between the sample and a fitted distribution."""
+    xs, ps = empirical_cdf(values)
+    model = np.asarray(fit.cdf(xs), dtype=np.float64)
+    step = 1.0 / xs.size
+    upper = np.abs(ps + 0.5 * step - model)
+    lower = np.abs(ps - 0.5 * step - model)
+    return float(np.max(np.maximum(upper, lower)))
+
+
+def min_of_k_expectation(fit: ExponentialFit, k: int) -> float:
+    """Expected value of the minimum of *k* i.i.d. runs: ``shift + scale / k``."""
+    return fit.min_of_k(k).mean
+
+
+def predicted_speedup(fit: ExponentialFit, k: int) -> float:
+    """Predicted multi-walk speed-up on *k* cores under the exponential model.
+
+    ``(shift + scale) / (shift + scale / k)`` — exactly ``k`` when the shift is
+    zero, and saturating at ``(shift + scale) / shift`` as ``k`` grows, which
+    is the theoretical ceiling the paper's discussion alludes to.
+    """
+    if k < 1:
+        raise AnalysisError(f"k must be >= 1, got {k}")
+    return fit.mean / min_of_k_expectation(fit, k)
+
+
+def sample_min_of_k(
+    values: Sequence[float] | np.ndarray,
+    k: int,
+    repetitions: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Bootstrap sample of the minimum of *k* runtimes drawn from the pool.
+
+    This is the non-parametric counterpart of :func:`min_of_k_expectation`,
+    used by the virtual cluster to cross-check the exponential model.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise AnalysisError("cannot resample from an empty pool")
+    if k < 1 or repetitions < 1:
+        raise AnalysisError("k and repetitions must be >= 1")
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    draws = generator.choice(arr, size=(repetitions, k), replace=True)
+    return draws.min(axis=1)

@@ -1,0 +1,35 @@
+"""Baseline solvers the paper compares Adaptive Search against.
+
+* :class:`~repro.baselines.dialectic.DialecticSearch` — the metaheuristic of
+  Kadioglu & Sellmann (CP'09) used in Table II; reimplemented from its
+  published description (thesis / antithesis / synthesis with greedy
+  improvement).
+* :class:`~repro.baselines.tabu.TabuSearch` — a plain best-improvement tabu
+  search over the swap neighbourhood, the "quadratic neighbourhood" style
+  comparator mentioned alongside Comet.
+* :class:`~repro.baselines.random_restart.RandomRestartHillClimbing` — a
+  simple restart-based stochastic search in the spirit of Rickard & Healy's
+  study (whose weak restart policy the paper criticises); useful as a
+  lower-bound baseline.
+* :class:`~repro.baselines.cp_solver.CPBacktrackingSolver` — a complete,
+  propagation-based solver (backtracking + forward checking on the difference
+  triangle), standing in for the Comet/MiniZinc CP model that the paper
+  reports to be ~400x slower than AS on CAP 19.
+
+All of them consume the same :class:`repro.core.problem.PermutationProblem`
+interface (except the CP solver, which works directly on the Costas structure)
+and produce :class:`repro.core.result.SolveResult` objects, so the analysis
+and benchmark layers treat every solver uniformly.
+"""
+
+from repro.baselines.dialectic import DialecticSearch
+from repro.baselines.tabu import TabuSearch
+from repro.baselines.random_restart import RandomRestartHillClimbing
+from repro.baselines.cp_solver import CPBacktrackingSolver
+
+__all__ = [
+    "DialecticSearch",
+    "TabuSearch",
+    "RandomRestartHillClimbing",
+    "CPBacktrackingSolver",
+]

@@ -1,0 +1,142 @@
+"""Random-restart hill climbing, in the spirit of Rickard & Healy (2006).
+
+Section II of the paper discusses Rickard & Healy's negative result on
+stochastic search for Costas arrays and attributes it to "a restart policy
+which is too simple".  This baseline deliberately implements that simple
+policy — best-improvement hill climbing restarted from scratch whenever it
+gets stuck — so that the repository can demonstrate the gap between a naive
+stochastic search and Adaptive Search's adaptive tabu/reset machinery on the
+same cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.problem import PermutationProblem
+from repro.core.result import SolveResult
+from repro.core.rng import SeedLike, ensure_generator
+
+__all__ = ["RandomRestartParameters", "RandomRestartHillClimbing"]
+
+
+@dataclass(frozen=True)
+class RandomRestartParameters:
+    """Tuning knobs of :class:`RandomRestartHillClimbing`."""
+
+    #: Allow equal-cost ("sideways") moves for at most this many consecutive steps.
+    max_sideways: int = 10
+    #: Total number of hill-climbing steps allowed across all restarts.
+    max_steps: Optional[int] = 500_000
+    target_cost: int = 0
+    check_period: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_sideways < 0:
+            raise ValueError("max_sideways must be >= 0")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if self.check_period < 1:
+            raise ValueError("check_period must be >= 1")
+
+
+class RandomRestartHillClimbing:
+    """Best-improvement hill climbing with restarts at every local minimum."""
+
+    def __init__(self, params: Optional[RandomRestartParameters] = None) -> None:
+        self.params = params if params is not None else RandomRestartParameters()
+
+    def solve(
+        self,
+        problem: PermutationProblem,
+        seed: SeedLike = None,
+        *,
+        params: Optional[RandomRestartParameters] = None,
+        stop_check=None,
+        max_time: Optional[float] = None,
+    ) -> SolveResult:
+        """Run the hill climber on *problem* until solved or out of budget."""
+        p = params if params is not None else self.params
+        rng = ensure_generator(seed)
+        seed_int = int(seed) if isinstance(seed, (int, np.integer)) else None
+        n = problem.size
+
+        start = time.perf_counter()
+        problem.initialise(rng)
+        cost = problem.cost()
+        best_cost = cost
+        best_config = problem.configuration()
+
+        steps = 0
+        restarts = 0
+        local_minima = 0
+        sideways = 0
+        stop_reason = "solved"
+
+        while cost > p.target_cost:
+            if p.max_steps is not None and steps >= p.max_steps:
+                stop_reason = "max_iterations"
+                break
+            if steps % p.check_period == 0:
+                if stop_check is not None and stop_check():
+                    stop_reason = "external_stop"
+                    break
+                if max_time is not None and time.perf_counter() - start >= max_time:
+                    stop_reason = "max_time"
+                    break
+            steps += 1
+
+            # Best move over the full swap neighbourhood.
+            best_delta = None
+            best_move = None
+            for i in range(n - 1):
+                deltas = problem.swap_deltas(i)
+                j = i + 1 + int(np.argmin(deltas[i + 1 :]))
+                delta = int(deltas[j])
+                if best_delta is None or delta < best_delta:
+                    best_delta = delta
+                    best_move = (i, j)
+
+            take_move = False
+            if best_delta is not None and best_delta < 0:
+                take_move = True
+                sideways = 0
+            elif best_delta == 0 and sideways < p.max_sideways:
+                take_move = True
+                sideways += 1
+
+            if take_move:
+                cost = problem.apply_swap(*best_move)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_config = problem.configuration()
+            else:
+                # Stuck: restart from scratch (the "too simple" policy).
+                local_minima += 1
+                restarts += 1
+                sideways = 0
+                problem.initialise(rng)
+                cost = problem.cost()
+                if cost < best_cost:
+                    best_cost = cost
+                    best_config = problem.configuration()
+
+        solved = best_cost <= p.target_cost
+        return SolveResult(
+            solved=solved,
+            configuration=best_config,
+            cost=int(best_cost),
+            iterations=steps,
+            local_minima=local_minima,
+            restarts=restarts,
+            swaps=steps,
+            wall_time=time.perf_counter() - start,
+            seed=seed_int,
+            stop_reason="solved" if solved else stop_reason,
+            solver="random-restart-hill-climbing",
+            problem=problem.describe(),
+        )

@@ -1,0 +1,167 @@
+"""Plain tabu search over the swap ("quadratic") neighbourhood.
+
+The paper mentions that Kadioglu & Sellmann's Dialectic Search was itself
+compared against "a tabu search algorithm using the quadratic neighbourhood
+implemented in Comet".  This module provides that style of baseline: at every
+iteration the whole ``n(n-1)/2`` swap neighbourhood is scanned, the best
+non-tabu move (or a tabu move satisfying the aspiration criterion) is applied,
+and the reversed move is forbidden for ``tenure`` iterations.
+
+It is intentionally unsophisticated — its role in the repository is to be the
+"honest simple metaheuristic" yardstick in solver-comparison examples and
+tests, not to compete with Adaptive Search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import PermutationProblem
+from repro.core.result import SolveResult
+from repro.core.rng import SeedLike, ensure_generator
+
+__all__ = ["TabuSearchParameters", "TabuSearch"]
+
+
+@dataclass(frozen=True)
+class TabuSearchParameters:
+    """Tuning knobs of :class:`TabuSearch`."""
+
+    #: Iterations a reversed move stays forbidden (``None`` = ``n`` of the problem).
+    tenure: Optional[int] = None
+    #: Restart from a fresh random configuration after this many non-improving
+    #: iterations (``None`` disables restarts).
+    restart_after: Optional[int] = 2_000
+    #: Total iteration budget.
+    max_iterations: Optional[int] = 500_000
+    target_cost: int = 0
+    check_period: int = 16
+
+    def __post_init__(self) -> None:
+        if self.tenure is not None and self.tenure < 1:
+            raise ValueError("tenure must be >= 1")
+        if self.restart_after is not None and self.restart_after < 1:
+            raise ValueError("restart_after must be >= 1")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.check_period < 1:
+            raise ValueError("check_period must be >= 1")
+
+
+class TabuSearch:
+    """Best-improvement tabu search on the swap neighbourhood."""
+
+    def __init__(self, params: Optional[TabuSearchParameters] = None) -> None:
+        self.params = params if params is not None else TabuSearchParameters()
+
+    def solve(
+        self,
+        problem: PermutationProblem,
+        seed: SeedLike = None,
+        *,
+        params: Optional[TabuSearchParameters] = None,
+        stop_check=None,
+        max_time: Optional[float] = None,
+    ) -> SolveResult:
+        """Run tabu search on *problem* until solved or out of budget."""
+        p = params if params is not None else self.params
+        rng = ensure_generator(seed)
+        seed_int = int(seed) if isinstance(seed, (int, np.integer)) else None
+        n = problem.size
+        tenure = p.tenure if p.tenure is not None else n
+
+        start = time.perf_counter()
+        problem.initialise(rng)
+        cost = problem.cost()
+        best_cost = cost
+        best_config = problem.configuration()
+
+        tabu: Dict[Tuple[int, int], int] = {}
+        iterations = 0
+        swaps = 0
+        restarts = 0
+        local_minima = 0
+        stagnation = 0
+        stop_reason = "solved"
+
+        while cost > p.target_cost:
+            if p.max_iterations is not None and iterations >= p.max_iterations:
+                stop_reason = "max_iterations"
+                break
+            if iterations % p.check_period == 0:
+                if stop_check is not None and stop_check():
+                    stop_reason = "external_stop"
+                    break
+                if max_time is not None and time.perf_counter() - start >= max_time:
+                    stop_reason = "max_time"
+                    break
+            iterations += 1
+
+            # Scan the full swap neighbourhood.
+            best_move = None
+            best_move_cost = None
+            for i in range(n - 1):
+                deltas = problem.swap_deltas(i)
+                for j in range(i + 1, n):
+                    move_cost = cost + int(deltas[j])
+                    is_tabu = tabu.get((i, j), 0) >= iterations
+                    # Aspiration: a tabu move is allowed if it beats the best ever.
+                    if is_tabu and move_cost >= best_cost:
+                        continue
+                    if best_move_cost is None or move_cost < best_move_cost:
+                        best_move_cost = move_cost
+                        best_move = (i, j)
+
+            if best_move is None:
+                # Every move tabu and none aspirational: clear the list.
+                tabu.clear()
+                local_minima += 1
+                continue
+
+            i, j = best_move
+            if best_move_cost >= cost:
+                local_minima += 1
+                stagnation += 1
+            else:
+                stagnation = 0
+            cost = problem.apply_swap(i, j)
+            swaps += 1
+            tabu[(i, j)] = iterations + tenure
+
+            if cost < best_cost:
+                best_cost = cost
+                best_config = problem.configuration()
+
+            if (
+                p.restart_after is not None
+                and stagnation >= p.restart_after
+                and cost > p.target_cost
+            ):
+                restarts += 1
+                stagnation = 0
+                tabu.clear()
+                problem.initialise(rng)
+                cost = problem.cost()
+                if cost < best_cost:
+                    best_cost = cost
+                    best_config = problem.configuration()
+
+        solved = best_cost <= p.target_cost
+        return SolveResult(
+            solved=solved,
+            configuration=best_config,
+            cost=int(best_cost),
+            iterations=iterations,
+            local_minima=local_minima,
+            restarts=restarts,
+            swaps=swaps,
+            wall_time=time.perf_counter() - start,
+            seed=seed_int,
+            stop_reason="solved" if solved else stop_reason,
+            solver="tabu-search",
+            problem=problem.describe(),
+        )

@@ -1,0 +1,190 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands
+--------
+``repro solve N``
+    Solve one Costas Array Problem instance with sequential Adaptive Search.
+``repro parallel N``
+    Solve one instance with the multi-process independent multi-walk solver.
+``repro construct N``
+    Build a Costas array algebraically (Welch / Lempel / Golomb) when possible.
+``repro enumerate N``
+    Exhaustively count (and optionally print) all Costas arrays of order N.
+``repro experiment ID``
+    Run one of the paper's experiments (``table1`` … ``figure4``,
+    ``ablation-*``) at a chosen scale preset and print its table.
+``repro list-experiments``
+    Show the identifiers accepted by ``repro experiment``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed separately for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Parallel Local Search for the Costas Array Problem' "
+            "(Diaz et al., IPPS 2012)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve one CAP instance sequentially")
+    p_solve.add_argument("order", type=int, help="Costas array order (n >= 3)")
+    p_solve.add_argument("--seed", type=int, default=None, help="random seed")
+    p_solve.add_argument("--basic", action="store_true", help="use the basic (untuned) model")
+    p_solve.add_argument("--quiet", action="store_true", help="only print the permutation")
+
+    p_par = sub.add_parser("parallel", help="solve one CAP instance with multi-walk processes")
+    p_par.add_argument("order", type=int)
+    p_par.add_argument("--workers", type=int, default=None, help="number of worker processes")
+    p_par.add_argument("--seed", type=int, default=None, help="root seed")
+    p_par.add_argument("--max-time", type=float, default=None, help="wall-clock limit (s)")
+
+    p_cons = sub.add_parser("construct", help="build a Costas array algebraically")
+    p_cons.add_argument("order", type=int)
+    p_cons.add_argument(
+        "--method",
+        choices=["welch", "lempel", "golomb"],
+        default=None,
+        help="force a specific construction",
+    )
+
+    p_enum = sub.add_parser("enumerate", help="count all Costas arrays of an order")
+    p_enum.add_argument("order", type=int)
+    p_enum.add_argument("--print", dest="print_arrays", action="store_true",
+                        help="print every array (1-based)")
+    p_enum.add_argument("--classes", action="store_true",
+                        help="also count symmetry equivalence classes")
+
+    p_exp = sub.add_parser("experiment", help="run one of the paper's experiments")
+    p_exp.add_argument("identifier", help="experiment id (see list-experiments)")
+    p_exp.add_argument("--scale", default="default", choices=["smoke", "default", "paper"],
+                       help="scale preset")
+    p_exp.add_argument("--json", action="store_true", help="print the raw rows as JSON")
+
+    sub.add_parser("list-experiments", help="list experiment identifiers")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro import ASParameters, solve_costas
+
+    options = {}
+    if args.basic:
+        options = dict(err_weight="constant", use_chang=False, dedicated_reset=False)
+    result = solve_costas(args.order, seed=args.seed, **options)
+    if args.quiet:
+        print(list(result.as_costas_array().to_one_based()))
+        return 0
+    print(result.result.summary())
+    if result.solved:
+        array = result.as_costas_array()
+        print("permutation (1-based):", list(array.to_one_based()))
+        print(array.render())
+    return 0 if result.solved else 1
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    from repro import parallel_solve_costas
+    from repro.costas import CostasArray
+
+    outcome = parallel_solve_costas(
+        args.order,
+        n_workers=args.workers,
+        seed_root=args.seed,
+        max_time=args.max_time,
+    )
+    print(
+        f"{outcome.n_workers} walks, wall time {outcome.wall_time:.3f}s, "
+        f"total iterations {outcome.total_iterations}"
+    )
+    print(outcome.best.summary())
+    if outcome.solved:
+        array = CostasArray.from_permutation(outcome.best.configuration)
+        print("permutation (1-based):", list(array.to_one_based()))
+    return 0 if outcome.solved else 1
+
+
+def _cmd_construct(args: argparse.Namespace) -> int:
+    from repro.costas import construct
+    from repro.exceptions import ConstructionError
+
+    try:
+        array = construct(args.order, method=args.method)
+    except ConstructionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("permutation (1-based):", list(array.to_one_based()))
+    print(array.render())
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    from repro.costas import enumerate_costas_arrays, equivalence_classes, known_count
+
+    arrays = list(enumerate_costas_arrays(args.order))
+    print(f"order {args.order}: {len(arrays)} Costas arrays")
+    published = known_count(args.order)
+    if published is not None:
+        status = "matches" if published == len(arrays) else "DIFFERS FROM"
+        print(f"published count: {published} ({status} enumeration)")
+    if args.classes:
+        classes = equivalence_classes(arrays)
+        print(f"equivalence classes (up to rotation/reflection): {len(classes)}")
+    if args.print_arrays:
+        for array in arrays:
+            print(list(array.to_one_based()))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentScale
+    from repro.experiments.registry import run_experiment
+
+    scale = ExperimentScale.by_name(args.scale)
+    result = run_experiment(args.identifier, scale)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, default=float))
+    else:
+        print(result.format())
+    return 0
+
+
+def _cmd_list_experiments(_: argparse.Namespace) -> int:
+    from repro.experiments.registry import list_experiments
+
+    for identifier in list_experiments():
+        print(identifier)
+    return 0
+
+
+_DISPATCH = {
+    "solve": _cmd_solve,
+    "parallel": _cmd_parallel,
+    "construct": _cmd_construct,
+    "enumerate": _cmd_enumerate,
+    "experiment": _cmd_experiment,
+    "list-experiments": _cmd_list_experiments,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _DISPATCH[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Adaptive Search: a generic constraint-based local search engine for permutation problems.
+
+This package is the reproduction of the paper's primary algorithmic vehicle,
+the *Adaptive Search* (AS) method of Codognet & Diaz:
+
+* a problem is described through **error functions** — a global cost plus a
+  projection of constraint errors onto variables
+  (:class:`~repro.core.problem.PermutationProblem`);
+* each iteration selects the **most erroneous** variable (subject to a tabu
+  list) and applies the **min-conflict** move: the swap that minimises the
+  next configuration's cost (:class:`~repro.core.engine.AdaptiveSearch`);
+* equal-cost moves are taken with a configurable **plateau probability**;
+* variables with no acceptable move are **marked tabu** for a fixed tenure,
+  and when too many are tabu a **(partial or custom) reset** diversifies the
+  configuration (parameters ``RL``/``RP`` of the paper);
+* an optional **restart** bounds the length of any one walk.
+
+The engine is deliberately problem-agnostic: the Costas model and the other
+classic CSPs live in :mod:`repro.models`, and the parallel multi-walk drivers
+in :mod:`repro.parallel` treat the engine as a black box.
+"""
+
+from repro.core.params import ASParameters
+from repro.core.problem import (
+    FunctionalPermutationProblem,
+    PermutationProblem,
+)
+from repro.core.result import RunLimits, SolveResult
+from repro.core.engine import AdaptiveSearch, solve
+from repro.core.callbacks import (
+    CallbackList,
+    CostTraceRecorder,
+    EventCounter,
+    IterationCallback,
+)
+from repro.core.rng import ensure_generator, spawn_generators
+
+__all__ = [
+    "ASParameters",
+    "PermutationProblem",
+    "FunctionalPermutationProblem",
+    "SolveResult",
+    "RunLimits",
+    "AdaptiveSearch",
+    "solve",
+    "IterationCallback",
+    "CallbackList",
+    "CostTraceRecorder",
+    "EventCounter",
+    "ensure_generator",
+    "spawn_generators",
+]

@@ -1,0 +1,128 @@
+"""Instrumentation hooks for the Adaptive Search engine.
+
+The engine accepts an optional callback that is notified of every significant
+event (move taken, plateau followed, variable marked tabu, reset, restart,
+solution found).  Callbacks are how the examples plot cost traces and how the
+ablation benchmarks count events without modifying the engine.
+
+Callbacks must be cheap: they run inside the innermost loop.  Compose several
+with :class:`CallbackList`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence
+
+__all__ = [
+    "IterationCallback",
+    "CallbackList",
+    "CostTraceRecorder",
+    "EventCounter",
+    "EVENT_NAMES",
+]
+
+#: Events emitted by the engine, in no particular order.
+EVENT_NAMES: Sequence[str] = (
+    "improving_move",
+    "plateau_move",
+    "tabu_mark",
+    "local_minimum",
+    "reset",
+    "custom_reset",
+    "restart",
+    "solution",
+)
+
+
+class IterationCallback(Protocol):
+    """Protocol for engine instrumentation.
+
+    ``on_iteration`` runs once per engine iteration *after* the move decision;
+    ``on_event`` runs for each discrete event (see :data:`EVENT_NAMES`).
+    Implementations may define either or both; missing methods are tolerated.
+    """
+
+    def on_iteration(self, iteration: int, cost: int) -> None:  # pragma: no cover
+        ...
+
+    def on_event(self, event: str, iteration: int, cost: int) -> None:  # pragma: no cover
+        ...
+
+
+def _call_iteration(cb, iteration: int, cost: int) -> None:
+    hook = getattr(cb, "on_iteration", None)
+    if hook is not None:
+        hook(iteration, cost)
+
+
+def _call_event(cb, event: str, iteration: int, cost: int) -> None:
+    hook = getattr(cb, "on_event", None)
+    if hook is not None:
+        hook(event, iteration, cost)
+
+
+class CallbackList:
+    """Broadcasts engine notifications to several callbacks."""
+
+    def __init__(self, callbacks: Sequence[IterationCallback] = ()) -> None:
+        self._callbacks: List[IterationCallback] = list(callbacks)
+
+    def add(self, callback: IterationCallback) -> None:
+        """Append another callback."""
+        self._callbacks.append(callback)
+
+    def on_iteration(self, iteration: int, cost: int) -> None:
+        for cb in self._callbacks:
+            _call_iteration(cb, iteration, cost)
+
+    def on_event(self, event: str, iteration: int, cost: int) -> None:
+        for cb in self._callbacks:
+            _call_event(cb, event, iteration, cost)
+
+    def __len__(self) -> int:
+        return len(self._callbacks)
+
+
+class CostTraceRecorder:
+    """Records the cost at every iteration (optionally subsampled).
+
+    Parameters
+    ----------
+    every:
+        Record one sample every ``every`` iterations (1 = every iteration).
+    """
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"'every' must be >= 1, got {every}")
+        self.every = every
+        self.iterations: List[int] = []
+        self.costs: List[int] = []
+
+    def on_iteration(self, iteration: int, cost: int) -> None:
+        if iteration % self.every == 0:
+            self.iterations.append(iteration)
+            self.costs.append(cost)
+
+    def on_event(self, event: str, iteration: int, cost: int) -> None:
+        # The trace only samples iterations; events are ignored.
+        return
+
+    def __len__(self) -> int:
+        return len(self.costs)
+
+
+class EventCounter:
+    """Counts every engine event by name (used heavily by the ablation benches)."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {name: 0 for name in EVENT_NAMES}
+
+    def on_iteration(self, iteration: int, cost: int) -> None:
+        return
+
+    def on_event(self, event: str, iteration: int, cost: int) -> None:
+        self.counts[event] = self.counts.get(event, 0) + 1
+
+    def __getitem__(self, event: str) -> int:
+        return self.counts.get(event, 0)

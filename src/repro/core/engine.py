@@ -1,0 +1,280 @@
+"""The Adaptive Search engine (Figure 1 of the paper).
+
+One iteration of the engine:
+
+1. compute the per-variable errors of the current configuration and select the
+   **most erroneous non-tabu variable** (ties broken uniformly at random);
+2. evaluate every swap involving that variable (**min-conflict** value
+   selection) and
+
+   * apply the best swap if it strictly improves the cost,
+   * if the best swap only equals the current cost, follow the **plateau**
+     with probability ``plateau_probability``, otherwise mark the variable
+     tabu,
+   * if every swap worsens the cost (a **local minimum**), mark the variable
+     tabu for ``tabu_tenure`` iterations;
+3. if the number of currently tabu variables reaches ``reset_limit``, perform
+   a **reset**: ask the problem for a custom perturbation
+   (:meth:`~repro.core.problem.PermutationProblem.custom_reset`) and fall back
+   to re-randomising ``reset_percentage`` of the variables;
+4. optionally **restart** from scratch after ``restart_limit`` iterations.
+
+The run ends when the cost reaches ``target_cost``, when the iteration budget
+is exhausted, or when an external stop check (polled every ``check_period``
+iterations — this is the parallel termination test of Section V-A) fires.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.callbacks import CallbackList, IterationCallback
+from repro.core.params import ASParameters
+from repro.core.problem import PermutationProblem
+from repro.core.result import SolveResult
+from repro.core.rng import SeedLike, ensure_generator
+
+__all__ = ["AdaptiveSearch", "solve"]
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+class AdaptiveSearch:
+    """Reusable Adaptive Search solver.
+
+    The object itself is stateless between calls to :meth:`solve`; parameters
+    and callbacks given at construction time act as defaults that individual
+    calls may override.
+    """
+
+    def __init__(
+        self,
+        params: Optional[ASParameters] = None,
+        callbacks: Optional[IterationCallback] = None,
+    ) -> None:
+        self.params = params if params is not None else ASParameters()
+        self.callbacks = callbacks
+
+    # ------------------------------------------------------------------ public
+    def solve(
+        self,
+        problem: PermutationProblem,
+        seed: SeedLike = None,
+        *,
+        params: Optional[ASParameters] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+        callbacks: Optional[IterationCallback] = None,
+        initial_configuration: Optional[np.ndarray] = None,
+        max_time: Optional[float] = None,
+    ) -> SolveResult:
+        """Run Adaptive Search on *problem* and return a :class:`SolveResult`.
+
+        Parameters
+        ----------
+        problem:
+            The problem instance; its current configuration is overwritten.
+        seed:
+            Seed / generator for all stochastic decisions of this run.
+        params:
+            Override the engine parameters for this run only.
+        stop_check:
+            Zero-argument callable polled every ``check_period`` iterations;
+            returning ``True`` aborts the run with ``stop_reason
+            = "external_stop"`` (used for multi-walk termination).
+        callbacks:
+            Instrumentation for this run (overrides the constructor default).
+        initial_configuration:
+            Start from this configuration instead of a random one (restarts
+            still draw fresh random configurations).
+        max_time:
+            Wall-clock limit in seconds (checked every ``check_period``
+            iterations).
+        """
+        p = params if params is not None else self.params
+        cb = callbacks if callbacks is not None else self.callbacks
+        notifier = cb if cb is not None else CallbackList()
+        rng = ensure_generator(seed)
+        seed_int = int(seed) if isinstance(seed, (int, np.integer)) else None
+
+        start_time = time.perf_counter()
+        if initial_configuration is not None:
+            problem.set_configuration(np.asarray(initial_configuration, dtype=np.int64))
+        else:
+            problem.initialise(rng)
+        n = problem.size
+        cost = problem.cost()
+
+        tabu_until = np.zeros(n, dtype=np.int64)
+        marked_since_reset = 0
+        iteration = 0
+        local_minima = 0
+        plateau_moves = 0
+        swaps = 0
+        resets = 0
+        restarts = 0
+        iterations_since_restart = 0
+        stop_reason = "solved"
+
+        best_cost = cost
+        best_config = problem.configuration()
+
+        while cost > p.target_cost:
+            # ------------------------------------------------ budget / external stop
+            if p.max_iterations is not None and iteration >= p.max_iterations:
+                stop_reason = "max_iterations"
+                break
+            if iteration % p.check_period == 0:
+                if stop_check is not None and stop_check():
+                    stop_reason = "external_stop"
+                    break
+                if max_time is not None and time.perf_counter() - start_time >= max_time:
+                    stop_reason = "max_time"
+                    break
+
+            iteration += 1
+            iterations_since_restart += 1
+
+            # ------------------------------------------------------- select culprit
+            errors = problem.variable_errors()
+            active_tabu = tabu_until >= iteration
+            if active_tabu.any() and not active_tabu.all():
+                errors = np.where(active_tabu, -1, errors)
+            max_err = errors.max()
+            candidates = np.flatnonzero(errors == max_err)
+            culprit = int(candidates[rng.integers(candidates.size)])
+
+            # --------------------------------------------------- min-conflict move
+            deltas = problem.swap_deltas(culprit)
+            deltas[culprit] = _INT64_MAX
+            best_delta = int(deltas.min())
+            marked = False
+
+            if best_delta < 0:
+                partner = _random_argmin(deltas, best_delta, rng)
+                cost = problem.apply_swap(culprit, partner)
+                swaps += 1
+                notifier.on_event("improving_move", iteration, cost)
+            elif best_delta == 0:
+                if rng.random() < p.plateau_probability:
+                    partner = _random_argmin(deltas, best_delta, rng)
+                    cost = problem.apply_swap(culprit, partner)
+                    swaps += 1
+                    plateau_moves += 1
+                    notifier.on_event("plateau_move", iteration, cost)
+                else:
+                    marked = True
+            else:
+                local_minima += 1
+                notifier.on_event("local_minimum", iteration, cost)
+                if rng.random() < p.local_min_accept_probability:
+                    # Escape uphill: accept the least-bad swap instead of
+                    # freezing the variable (prob_select_loc_min of the
+                    # reference library).
+                    partner = _random_argmin(deltas, best_delta, rng)
+                    cost = problem.apply_swap(culprit, partner)
+                    swaps += 1
+                else:
+                    marked = True
+
+            if marked:
+                tabu_until[culprit] = iteration + p.tabu_tenure
+                marked_since_reset += 1
+                notifier.on_event("tabu_mark", iteration, cost)
+
+                # ------------------------------------------------------------ reset
+                if marked_since_reset >= p.reset_limit:
+                    resets += 1
+                    replacement = problem.custom_reset(rng)
+                    if replacement is not None:
+                        problem.set_configuration(np.asarray(replacement, dtype=np.int64))
+                        notifier.on_event("custom_reset", iteration, cost)
+                    else:
+                        self._generic_reset(problem, rng, p.reset_percentage)
+                        notifier.on_event("reset", iteration, cost)
+                    cost = problem.cost()
+                    marked_since_reset = 0
+                    if p.clear_tabu_on_reset:
+                        tabu_until[:] = 0
+
+            # -------------------------------------------------------------- restart
+            if (
+                p.restart_limit is not None
+                and iterations_since_restart >= p.restart_limit
+                and restarts < p.max_restarts
+            ):
+                restarts += 1
+                problem.initialise(rng)
+                cost = problem.cost()
+                tabu_until[:] = 0
+                marked_since_reset = 0
+                iterations_since_restart = 0
+                notifier.on_event("restart", iteration, cost)
+
+            if cost < best_cost:
+                best_cost = cost
+                best_config = problem.configuration()
+            notifier.on_iteration(iteration, cost)
+
+        solved = cost <= p.target_cost
+        if solved:
+            best_cost = cost
+            best_config = problem.configuration()
+            notifier.on_event("solution", iteration, cost)
+
+        return SolveResult(
+            solved=solved,
+            configuration=best_config,
+            cost=int(best_cost),
+            iterations=iteration,
+            local_minima=local_minima,
+            plateau_moves=plateau_moves,
+            resets=resets,
+            restarts=restarts,
+            swaps=swaps,
+            wall_time=time.perf_counter() - start_time,
+            seed=seed_int,
+            stop_reason=stop_reason if not solved else "solved",
+            solver="adaptive-search",
+            problem=problem.describe(),
+        )
+
+    # ---------------------------------------------------------------- internals
+    @staticmethod
+    def _generic_reset(
+        problem: PermutationProblem, rng: np.random.Generator, fraction: float
+    ) -> None:
+        """Re-randomise a fraction of the variables while staying a permutation.
+
+        A random subset of positions (at least two) is selected and the values
+        they hold are randomly re-distributed among them — the permutation-safe
+        analogue of the paper's "assign fresh values to RP% of the variables".
+        """
+        n = problem.size
+        k = max(2, int(round(fraction * n)))
+        k = min(k, n)
+        positions = rng.choice(n, size=k, replace=False)
+        config = problem.configuration()
+        values = config[positions]
+        rng.shuffle(values)
+        config[positions] = values
+        problem.set_configuration(config)
+
+
+def _random_argmin(deltas: np.ndarray, best: int, rng: np.random.Generator) -> int:
+    """Uniformly random index among the entries of *deltas* equal to *best*."""
+    ties = np.flatnonzero(deltas == best)
+    return int(ties[rng.integers(ties.size)])
+
+
+def solve(
+    problem: PermutationProblem,
+    seed: SeedLike = None,
+    *,
+    params: Optional[ASParameters] = None,
+    **kwargs,
+) -> SolveResult:
+    """Convenience wrapper: ``AdaptiveSearch(params).solve(problem, seed, **kwargs)``."""
+    return AdaptiveSearch(params=params).solve(problem, seed, **kwargs)

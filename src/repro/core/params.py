@@ -1,0 +1,148 @@
+"""Tuning parameters of the Adaptive Search engine.
+
+The names follow the paper (Section III and Figure 1):
+
+* ``tabu_tenure`` — number of iterations a "culprit" variable with no
+  acceptable move stays frozen (``T`` in the base algorithm);
+* ``reset_limit`` (``RL``) — number of simultaneously tabu variables that
+  triggers a reset; the paper's Costas model uses ``RL = 1``;
+* ``reset_percentage`` (``RP``) — fraction of the variables re-randomised by
+  the *generic* reset; the paper's Costas model uses 5% (the dedicated Costas
+  reset in :class:`repro.models.costas.CostasProblem` bypasses this);
+* ``plateau_probability`` — probability of accepting an equal-cost move
+  instead of marking the variable tabu (90–95% is reported to help a lot on
+  Magic Square-like problems);
+* ``restart_limit`` / ``max_restarts`` — iterations before a full restart and
+  how many restarts are allowed;
+* ``max_iterations`` — overall per-run budget (safety net; the paper's runs
+  are unbounded);
+* ``check_period`` — how many iterations between calls to the external stop
+  check, which is how the parallel multi-walk termination message is polled
+  ("every ``c`` iterations" in Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["ASParameters"]
+
+
+@dataclass(frozen=True)
+class ASParameters:
+    """Immutable bundle of Adaptive Search tuning parameters.
+
+    The defaults are the values the paper reports for the Costas Array
+    Problem; :meth:`for_problem_size` derives the size-dependent ones.
+    """
+
+    #: Iterations a variable stays tabu once marked.
+    tabu_tenure: int = 2
+    #: Number of tabu variables that triggers a reset (``RL``).
+    reset_limit: int = 1
+    #: Fraction of variables re-randomised by the generic reset (``RP``).
+    reset_percentage: float = 0.05
+    #: Probability of following a plateau (accepting an equal-cost best move).
+    plateau_probability: float = 0.9
+    #: Probability of accepting the best *worsening* move when the culprit
+    #: variable is at a local minimum, instead of marking it tabu (the
+    #: ``prob_select_loc_min`` knob of the reference Adaptive Search library).
+    local_min_accept_probability: float = 0.5
+    #: Whether a reset clears the tabu marks of all variables.  Keeping the
+    #: marks (``False``) forces the next iterations to work on different
+    #: culprits after a reset, which helps break perturbation cycles.
+    clear_tabu_on_reset: bool = True
+    #: Iterations before a restart from a fresh random configuration
+    #: (``None`` disables restarts).
+    restart_limit: Optional[int] = None
+    #: Maximum number of restarts (ignored when ``restart_limit`` is ``None``).
+    max_restarts: int = 0
+    #: Hard per-run iteration budget (``None`` = unbounded, as in the paper).
+    max_iterations: Optional[int] = None
+    #: Cost value at or below which the run is declared successful.
+    target_cost: int = 0
+    #: Iterations between external stop-checks (parallel termination polling).
+    check_period: int = 64
+
+    def __post_init__(self) -> None:
+        if self.tabu_tenure < 1:
+            raise ValueError(f"tabu_tenure must be >= 1, got {self.tabu_tenure}")
+        if self.reset_limit < 1:
+            raise ValueError(f"reset_limit must be >= 1, got {self.reset_limit}")
+        if not 0.0 < self.reset_percentage <= 1.0:
+            raise ValueError(
+                f"reset_percentage must be in (0, 1], got {self.reset_percentage}"
+            )
+        if not 0.0 <= self.plateau_probability <= 1.0:
+            raise ValueError(
+                f"plateau_probability must be in [0, 1], got {self.plateau_probability}"
+            )
+        if not 0.0 <= self.local_min_accept_probability <= 1.0:
+            raise ValueError(
+                "local_min_accept_probability must be in [0, 1], got "
+                f"{self.local_min_accept_probability}"
+            )
+        if self.restart_limit is not None and self.restart_limit < 1:
+            raise ValueError(f"restart_limit must be >= 1, got {self.restart_limit}")
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.check_period < 1:
+            raise ValueError(f"check_period must be >= 1, got {self.check_period}")
+
+    # ------------------------------------------------------------------ helpers
+    def with_updates(self, **changes) -> "ASParameters":
+        """Return a copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def for_costas(cls, order: int, **overrides) -> "ASParameters":
+        """Parameters used by the paper's Costas model.
+
+        ``RL = 1``, ``RP = 5%``, plateau probability 90%, a tabu tenure of
+        ``order // 2`` kept across resets, a 50% probability of escaping a
+        local minimum uphill instead of freezing the culprit, an iteration
+        budget generous enough never to bind at the orders this repository
+        benchmarks (but present so a pathological run cannot hang a
+        test-suite), and a periodic restart whose period grows with the order
+        (the paper notes that restarting from scratch is part of the method;
+        here it also bounds the rare pathological walks a pure-Python engine
+        cannot afford to ride out).
+        """
+        if order < 3:
+            raise ValueError(f"Costas parameters need order >= 3, got {order}")
+        defaults = dict(
+            tabu_tenure=max(2, order // 2),
+            reset_limit=1,
+            reset_percentage=0.05,
+            plateau_probability=0.9,
+            local_min_accept_probability=0.5,
+            clear_tabu_on_reset=False,
+            restart_limit=1_000 * 2 ** max(0, order - 10),
+            max_restarts=1_000_000_000,
+            max_iterations=50_000_000,
+            target_cost=0,
+            check_period=64,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def for_problem_size(cls, n: int, **overrides) -> "ASParameters":
+        """Generic defaults for an ``n``-variable permutation problem."""
+        if n < 2:
+            raise ValueError(f"problem size must be >= 2, got {n}")
+        defaults = dict(
+            tabu_tenure=max(2, n // 10),
+            reset_limit=max(1, int(round(n * 0.1))),
+            reset_percentage=0.1,
+            plateau_probability=0.9,
+            local_min_accept_probability=0.0,
+            restart_limit=None,
+            max_restarts=0,
+            max_iterations=10_000_000,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)

@@ -1,0 +1,232 @@
+"""Problem interface consumed by the Adaptive Search engine.
+
+Adaptive Search describes a CSP through *error functions*: a global cost that
+is zero exactly on solutions, and a projection of that cost onto variables so
+the engine can pick the "most erroneous" one.  For permutation problems (the
+class this repository reproduces — CAP, N-Queens, All-Interval, Magic Square)
+the move neighbourhood is the set of transpositions, so a problem additionally
+exposes how its cost changes under a swap.
+
+Two base classes are provided:
+
+* :class:`PermutationProblem` — the abstract contract.  Concrete models that
+  maintain incremental state (like the Costas difference-triangle model)
+  subclass it directly and override the incremental hooks.
+* :class:`FunctionalPermutationProblem` — an adapter that builds a model from
+  a plain ``cost(perm)`` function with full recomputation.  It is slow but
+  obviously correct, which makes it the reference implementation the
+  test-suite uses to validate the incremental models, and a convenient way
+  for downstream users to try the engine on a new problem in a few lines.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.rng import SeedLike, ensure_generator
+from repro.exceptions import ModelError
+
+__all__ = ["PermutationProblem", "FunctionalPermutationProblem"]
+
+
+class PermutationProblem(abc.ABC):
+    """A permutation-encoded CSP as seen by the Adaptive Search engine.
+
+    The object is **stateful**: it holds the current configuration, and the
+    engine mutates it through :meth:`apply_swap`, :meth:`set_configuration`
+    and the reset hooks.  State is initialised by :meth:`initialise`.
+
+    Subclasses must implement :meth:`cost`, :meth:`variable_errors`,
+    :meth:`swap_delta` and :meth:`apply_swap`; everything else has sensible
+    defaults.
+    """
+
+    def __init__(self, size: int, name: str = "") -> None:
+        if size < 2:
+            raise ModelError(f"a permutation problem needs at least 2 variables, got {size}")
+        self._size = int(size)
+        self._name = name or type(self).__name__
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def size(self) -> int:
+        """Number of variables (length of the permutation)."""
+        return self._size
+
+    @property
+    def name(self) -> str:
+        """Human-readable problem name (used in logs, results and tables)."""
+        return self._name
+
+    # -------------------------------------------------------------- life cycle
+    def initial_configuration(self, rng: np.random.Generator) -> np.ndarray:
+        """Produce a fresh starting configuration (default: uniform random)."""
+        return rng.permutation(self._size).astype(np.int64)
+
+    def initialise(self, rng: SeedLike = None) -> np.ndarray:
+        """Reset the problem to a fresh initial configuration and return it."""
+        generator = ensure_generator(rng)
+        config = self.initial_configuration(generator)
+        self.set_configuration(config)
+        return config
+
+    @abc.abstractmethod
+    def set_configuration(self, perm: Sequence[int] | np.ndarray) -> None:
+        """Load an arbitrary configuration (rebuilding any incremental state)."""
+
+    @abc.abstractmethod
+    def configuration(self) -> np.ndarray:
+        """Return a copy of the current configuration."""
+
+    # ------------------------------------------------------------------- errors
+    @abc.abstractmethod
+    def cost(self) -> int:
+        """Global cost of the current configuration (0 iff solved)."""
+
+    @abc.abstractmethod
+    def variable_errors(self) -> np.ndarray:
+        """Per-variable error vector of the current configuration."""
+
+    @abc.abstractmethod
+    def swap_delta(self, i: int, j: int) -> int:
+        """Change in :meth:`cost` if variables *i* and *j* were swapped."""
+
+    @abc.abstractmethod
+    def apply_swap(self, i: int, j: int) -> int:
+        """Swap variables *i* and *j*; return the new cost."""
+
+    def swap_deltas(self, i: int) -> np.ndarray:
+        """Cost deltas of swapping *i* with every other variable.
+
+        Returns an array ``deltas`` of length :attr:`size` where ``deltas[j]``
+        is :meth:`swap_delta(i, j) <swap_delta>`; entry ``i`` itself is set to
+        a large sentinel so the engine never "swaps a variable with itself".
+        The default implementation simply loops; incremental models override
+        it with a vectorised computation because this is the engine's hot path
+        (one call per iteration, ``n - 1`` candidate moves).
+        """
+        deltas = np.empty(self._size, dtype=np.int64)
+        for j in range(self._size):
+            deltas[j] = 0 if j == i else self.swap_delta(i, j)
+        deltas[i] = np.iinfo(np.int64).max
+        return deltas
+
+    def is_solution(self) -> bool:
+        """Whether the current configuration satisfies every constraint."""
+        return self.cost() == 0
+
+    # ----------------------------------------------------------------- resets
+    def custom_reset(self, rng: np.random.Generator) -> Optional[np.ndarray]:
+        """Problem-specific escape from a local minimum.
+
+        Return a complete replacement configuration, or ``None`` to let the
+        engine apply its generic partial reset (re-randomise ``RP`` percent of
+        the variables).  The default is ``None``; the Costas model overrides
+        this with the paper's dedicated three-perturbation procedure.
+        """
+        return None
+
+    # ------------------------------------------------------------------ checks
+    def check_consistency(self) -> None:
+        """Verify internal incremental state against a recomputation.
+
+        The default implementation does nothing; incremental models override
+        it and the test-suite calls it after long runs.  It must raise
+        ``AssertionError`` (or a subclass of :class:`ModelError`) on
+        inconsistency.
+        """
+
+    def describe(self) -> str:
+        """One-line description used in experiment manifests."""
+        return f"{self.name}(n={self.size})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+class FunctionalPermutationProblem(PermutationProblem):
+    """Adapter turning a plain cost function into a :class:`PermutationProblem`.
+
+    Parameters
+    ----------
+    size:
+        Number of variables.
+    cost_fn:
+        ``cost_fn(perm) -> int`` evaluating a full configuration; must return 0
+        exactly on solutions.
+    variable_errors_fn:
+        Optional ``f(perm) -> np.ndarray``.  When omitted, the error of
+        variable ``i`` is estimated as the cost decrease achievable by the best
+        swap involving ``i`` (non-negative), which is expensive (O(n^2) cost
+        evaluations) but requires no problem knowledge.
+    name:
+        Optional problem name.
+
+    Every query recomputes from scratch; use this class for prototyping,
+    reference checks and small instances only.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        cost_fn: Callable[[np.ndarray], int],
+        variable_errors_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(size, name or "FunctionalProblem")
+        self._cost_fn = cost_fn
+        self._errors_fn = variable_errors_fn
+        self._config = np.arange(size, dtype=np.int64)
+
+    # ------------------------------------------------------------------ state
+    def set_configuration(self, perm: Sequence[int] | np.ndarray) -> None:
+        arr = np.asarray(perm, dtype=np.int64)
+        if arr.shape != (self._size,):
+            raise ModelError(
+                f"expected a configuration of length {self._size}, got shape {arr.shape}"
+            )
+        if not np.array_equal(np.sort(arr), np.arange(self._size)):
+            raise ModelError("configuration is not a permutation of 0..n-1")
+        self._config = arr.copy()
+
+    def configuration(self) -> np.ndarray:
+        return self._config.copy()
+
+    # ------------------------------------------------------------------ errors
+    def cost(self) -> int:
+        return int(self._cost_fn(self._config))
+
+    def variable_errors(self) -> np.ndarray:
+        if self._errors_fn is not None:
+            errs = np.asarray(self._errors_fn(self._config), dtype=np.int64)
+            if errs.shape != (self._size,):
+                raise ModelError(
+                    f"variable_errors_fn returned shape {errs.shape}, "
+                    f"expected ({self._size},)"
+                )
+            return errs
+        # Fallback: potential improvement of the best swap touching each variable.
+        base = self.cost()
+        errs = np.zeros(self._size, dtype=np.int64)
+        for i in range(self._size):
+            best = 0
+            for j in range(self._size):
+                if i == j:
+                    continue
+                best = min(best, self.swap_delta(i, j))
+            errs[i] = -best
+        return errs
+
+    def swap_delta(self, i: int, j: int) -> int:
+        before = self.cost()
+        self._config[i], self._config[j] = self._config[j], self._config[i]
+        after = int(self._cost_fn(self._config))
+        self._config[i], self._config[j] = self._config[j], self._config[i]
+        return after - before
+
+    def apply_swap(self, i: int, j: int) -> int:
+        self._config[i], self._config[j] = self._config[j], self._config[i]
+        return self.cost()

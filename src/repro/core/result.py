@@ -1,0 +1,141 @@
+"""Result and statistics objects returned by solvers.
+
+Every solver in this repository (Adaptive Search, the baselines and the
+parallel drivers) returns a :class:`SolveResult`, so the analysis and
+benchmark layers can treat them uniformly: Table I of the paper reports, for
+each instance, the solving time, the number of iterations and the number of
+local minima encountered — exactly the counters collected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SolveResult", "RunLimits"]
+
+
+@dataclass(frozen=True)
+class RunLimits:
+    """Why a run may be allowed to end without a solution.
+
+    ``max_iterations`` and ``max_time`` mirror :class:`repro.core.params.ASParameters`
+    and the wall-clock limit of the parallel drivers; ``external_stop`` records
+    that another walk of a multi-walk run found a solution first.
+    """
+
+    max_iterations: Optional[int] = None
+    max_time: Optional[float] = None
+    external_stop: bool = False
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run.
+
+    Attributes
+    ----------
+    solved:
+        ``True`` iff the returned configuration reaches the target cost.
+    configuration:
+        Final (best) configuration, 0-based permutation.
+    cost:
+        Cost of :attr:`configuration` (0 for a solution).
+    iterations:
+        Number of engine iterations executed.
+    local_minima:
+        Iterations at which no improving move existed (the quantity of
+        Table I's "Local min" column).
+    plateau_moves, resets, restarts, swaps:
+        Additional engine counters.
+    wall_time:
+        Wall-clock seconds spent inside the solver.
+    seed:
+        Integer seed of the run when known (parallel workers always set it).
+    stop_reason:
+        One of ``"solved"``, ``"max_iterations"``, ``"max_restarts"``,
+        ``"external_stop"``, ``"max_time"``.
+    solver:
+        Name of the solver that produced the result.
+    problem:
+        Description of the problem instance (``problem.describe()``).
+    extra:
+        Free-form, solver-specific metrics (e.g. CP node counts, DS
+        synthesis-phase statistics, parallel-walk indices).
+    """
+
+    solved: bool
+    configuration: np.ndarray
+    cost: int
+    iterations: int = 0
+    local_minima: int = 0
+    plateau_moves: int = 0
+    resets: int = 0
+    restarts: int = 0
+    swaps: int = 0
+    wall_time: float = 0.0
+    seed: Optional[int] = None
+    stop_reason: str = "solved"
+    solver: str = "adaptive-search"
+    problem: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.configuration = np.asarray(self.configuration, dtype=np.int64)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def iterations_per_second(self) -> float:
+        """Engine iteration rate; 0 when no time was recorded."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.iterations / self.wall_time
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dictionary (configuration as a plain list)."""
+        return {
+            "solved": self.solved,
+            "configuration": [int(v) for v in self.configuration],
+            "cost": int(self.cost),
+            "iterations": int(self.iterations),
+            "local_minima": int(self.local_minima),
+            "plateau_moves": int(self.plateau_moves),
+            "resets": int(self.resets),
+            "restarts": int(self.restarts),
+            "swaps": int(self.swaps),
+            "wall_time": float(self.wall_time),
+            "seed": self.seed,
+            "stop_reason": self.stop_reason,
+            "solver": self.solver,
+            "problem": self.problem,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SolveResult":
+        """Inverse of :meth:`as_dict` (used when results cross process boundaries)."""
+        payload = dict(data)
+        payload["configuration"] = np.asarray(payload["configuration"], dtype=np.int64)
+        return cls(**payload)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "solved" if self.solved else f"stopped ({self.stop_reason})"
+        return (
+            f"[{self.solver}] {self.problem or 'problem'}: {status} "
+            f"cost={self.cost} iters={self.iterations} "
+            f"local_min={self.local_minima} time={self.wall_time:.3f}s"
+        )
+
+    @staticmethod
+    def best_of(results: Sequence["SolveResult"]) -> "SolveResult":
+        """The best result of a collection: solved beats unsolved, then lowest
+        cost, then fewest iterations (ties broken by earliest position)."""
+        if not results:
+            raise ValueError("best_of() needs at least one result")
+        return min(
+            results,
+            key=lambda r: (not r.solved, r.cost, r.iterations),
+        )

@@ -1,0 +1,75 @@
+"""Random number generation helpers.
+
+Local search is extremely sensitive to the quality and independence of its
+random streams — the paper devotes a subsection (III-B.3) to seeding the
+parallel walks through a chaotic map rather than naively.  Inside a single
+process we standardise on :class:`numpy.random.Generator` (PCG64), created
+through the helpers below so that
+
+* every entry point accepts "a seed, a generator, or nothing" uniformly;
+* independent sub-streams are spawned through :class:`numpy.random.SeedSequence`
+  (never by reusing or incrementing a seed);
+* the multi-walk code can obtain an arbitrary number of decorrelated
+  generators from one master seed (see also
+  :mod:`repro.parallel.seeds` for the chaotic-map variant used to mirror the
+  paper's setup).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "ensure_generator", "spawn_generators", "derive_seed"]
+
+#: Anything acceptable as a source of randomness.
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def ensure_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Passing an existing generator returns it unchanged (no copy), so state is
+    shared with the caller; pass an integer when reproducibility across calls
+    is required.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(n: int, seed: SeedLike = None) -> List[np.random.Generator]:
+    """Create *n* statistically independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are guaranteed independent
+    regardless of the value of *seed*.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators ({n})")
+    if isinstance(seed, np.random.Generator):
+        # Derive a SeedSequence from the generator's own stream.
+        seed = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    elif not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seed.spawn(n)]
+
+
+def derive_seed(seed: SeedLike, index: int) -> int:
+    """Deterministically derive the *index*-th 63-bit integer seed from *seed*.
+
+    Used when a plain integer must cross a process boundary (the
+    ``multiprocessing`` workers receive integer seeds, not generator objects).
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    if isinstance(seed, np.random.Generator):
+        base = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    elif isinstance(seed, np.random.SeedSequence):
+        base = seed
+    else:
+        base = np.random.SeedSequence(seed)
+    child = base.spawn(index + 1)[index]
+    return int(child.generate_state(1, dtype=np.uint64)[0] & 0x7FFF_FFFF_FFFF_FFFF)

@@ -1,0 +1,160 @@
+"""Radar-oriented analysis of Costas arrays: coincidence and ambiguity functions.
+
+Costas arrays were introduced (Costas, 1984) to design frequency-hopping
+sonar/radar waveforms whose *ambiguity function* — the response of a matched
+filter to a time- and frequency-shifted copy of the signal — has an ideal
+"thumbtack" shape: a single peak at zero shift and at most one coincidence for
+any other shift.  This is exactly the combinatorial Costas property: shifting
+the ``n x n`` mark grid by ``(dt, df)`` and counting overlapping marks gives at
+most one hit for every non-zero shift.
+
+This module provides the discrete (grid-level) quantities used by the examples
+and by the property-based tests (a permutation is a Costas array iff its
+maximum off-peak coincidence count is at most 1), plus a simple baseband
+frequency-hop waveform synthesiser and its sampled ambiguity function, used by
+``examples/radar_waveform.py`` to connect the abstract problem back to the
+application the paper's introduction motivates it with.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.costas.array import as_permutation
+
+__all__ = [
+    "coincidence_count",
+    "ambiguity_matrix",
+    "max_offpeak_coincidences",
+    "sidelobe_histogram",
+    "hop_waveform",
+    "waveform_ambiguity",
+]
+
+
+def coincidence_count(perm: Sequence[int] | np.ndarray, dt: int, df: int) -> int:
+    """Number of marks that coincide when the grid is shifted by ``(dt, df)``.
+
+    ``dt`` shifts columns (time), ``df`` shifts rows (frequency).  The count at
+    ``(0, 0)`` is always ``n``; a permutation is a Costas array iff the count
+    is at most 1 for every other shift.
+    """
+    p = as_permutation(perm, copy=False)
+    n = p.size
+    count = 0
+    for c in range(n):
+        c2 = c + dt
+        if 0 <= c2 < n and p[c] + df == p[c2]:
+            count += 1
+    return count
+
+
+def ambiguity_matrix(perm: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Full grid of coincidence counts for shifts ``dt, df in -(n-1) .. n-1``.
+
+    The returned matrix ``A`` has shape ``(2n-1, 2n-1)`` with
+    ``A[df + n - 1, dt + n - 1] = coincidence_count(perm, dt, df)``.
+    """
+    p = as_permutation(perm, copy=False)
+    n = p.size
+    A = np.zeros((2 * n - 1, 2 * n - 1), dtype=np.int64)
+    cols = np.arange(n)
+    for dt in range(-(n - 1), n):
+        c2 = cols + dt
+        valid = (c2 >= 0) & (c2 < n)
+        if not valid.any():
+            continue
+        dfs = p[c2[valid]] - p[cols[valid]]
+        np.add.at(A[:, dt + n - 1], dfs + n - 1, 1)
+    return A
+
+
+def max_offpeak_coincidences(perm: Sequence[int] | np.ndarray) -> int:
+    """Largest coincidence count over all non-zero shifts (≤ 1 iff Costas)."""
+    p = as_permutation(perm, copy=False)
+    n = p.size
+    A = ambiguity_matrix(p)
+    A[n - 1, n - 1] = 0  # mask the main peak
+    return int(A.max())
+
+
+def sidelobe_histogram(perm: Sequence[int] | np.ndarray) -> dict[int, int]:
+    """Histogram of off-peak coincidence counts (how many shifts give 0, 1, 2… hits)."""
+    p = as_permutation(perm, copy=False)
+    n = p.size
+    A = ambiguity_matrix(p)
+    A[n - 1, n - 1] = -1  # exclude the main peak from the histogram
+    values, counts = np.unique(A[A >= 0], return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def hop_waveform(
+    perm: Sequence[int] | np.ndarray,
+    *,
+    samples_per_chip: int = 16,
+    chip_duration: float = 1.0,
+    base_frequency: float = 1.0,
+    frequency_step: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthesise the complex baseband frequency-hopping waveform of a pattern.
+
+    Chip ``c`` transmits a complex exponential at frequency
+    ``base_frequency + perm[c] * frequency_step`` for ``chip_duration`` seconds.
+
+    Returns
+    -------
+    (t, x):
+        Sample times and complex samples, each of length
+        ``n * samples_per_chip``.
+    """
+    p = as_permutation(perm, copy=False)
+    n = p.size
+    if samples_per_chip < 1:
+        raise ValueError(f"samples_per_chip must be >= 1, got {samples_per_chip}")
+    total = n * samples_per_chip
+    t = np.arange(total) * (chip_duration / samples_per_chip)
+    chip_index = np.repeat(np.arange(n), samples_per_chip)
+    freqs = base_frequency + p[chip_index] * frequency_step
+    phase = 2.0 * np.pi * freqs * (t - chip_index * chip_duration)
+    x = np.exp(1j * phase)
+    return t, x
+
+
+def waveform_ambiguity(
+    x: np.ndarray,
+    *,
+    n_doppler: int = 64,
+    max_doppler: float = 1.0,
+    sample_rate: float = 1.0,
+) -> np.ndarray:
+    """Sampled magnitude of the narrowband ambiguity function of waveform *x*.
+
+    ``A[k, l]`` is ``|sum_t x(t) conj(x(t - τ_l)) e^{j 2π ν_k t}|`` over the
+    discrete delays ``τ_l`` (all integer sample lags) and ``n_doppler``
+    Doppler shifts spread uniformly in ``[-max_doppler, +max_doppler]``.
+    The output is normalised so the zero-delay / zero-Doppler peak is 1.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("waveform must be a non-empty 1-D complex array")
+    n = x.size
+    lags = np.arange(-(n - 1), n)
+    dopplers = np.linspace(-max_doppler, max_doppler, n_doppler)
+    t = np.arange(n) / sample_rate
+    A = np.empty((n_doppler, lags.size), dtype=np.float64)
+    for li, lag in enumerate(lags):
+        if lag >= 0:
+            prod = x[lag:] * np.conj(x[: n - lag])
+            times = t[lag:]
+        else:
+            prod = x[: n + lag] * np.conj(x[-lag:])
+            times = t[: n + lag]
+        # One inner product per Doppler bin; vectorised over time samples.
+        phases = np.exp(1j * 2.0 * np.pi * np.outer(dopplers, times))
+        A[:, li] = np.abs(phases @ prod)
+    peak = A.max()
+    if peak > 0:
+        A /= peak
+    return A

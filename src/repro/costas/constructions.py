@@ -1,0 +1,268 @@
+"""Algebraic Costas array constructions (Welch, Lempel, Golomb) and corner deletion.
+
+The paper recalls that constructive methods exist for many orders (Welch for
+``n = p - 1`` with ``p`` prime, Golomb/Lempel for ``n = q - 2`` with ``q`` a
+prime power, plus corner-deletion corollaries) but not for all — which is why
+order 32 is still open and why local search is an interesting alternative.
+This module provides those constructions so that
+
+* the test-suite has an independent source of ground-truth Costas arrays of
+  many orders (every construction output is cross-checked against
+  :func:`repro.costas.array.is_costas`);
+* examples can seed radar-waveform demonstrations with genuine Costas arrays
+  of non-trivial size without running a search;
+* enumeration results can be sanity-checked (constructed arrays must appear in
+  the exhaustive enumeration for small orders).
+
+All functions return :class:`~repro.costas.array.CostasArray` instances
+(0-based permutations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.costas.array import CostasArray
+from repro.costas.galois import GaloisField, is_prime, is_prime_power, primitive_root
+from repro.exceptions import ConstructionError
+
+__all__ = [
+    "welch_construction",
+    "lempel_construction",
+    "golomb_construction",
+    "corner_deletion",
+    "construct",
+    "available_constructions",
+    "constructible_orders",
+]
+
+
+def welch_construction(order: int, *, root: Optional[int] = None, shift: int = 0) -> CostasArray:
+    """Exponential Welch construction ``W1``: a Costas array of order ``p - 1``.
+
+    Requires ``order + 1`` to be prime.  With ``g`` a primitive root modulo
+    ``p = order + 1``, the permutation is ``a_i = g^{i + shift} mod p`` for
+    ``i = 1 .. p-1`` (1-based values), converted to the library's 0-based
+    convention.  Any cyclic *shift* of the exponent yields another Costas
+    array, giving ``p - 1`` distinct W1 arrays per primitive root.
+
+    Parameters
+    ----------
+    order:
+        Desired array order ``n``; ``n + 1`` must be prime.
+    root:
+        Primitive root modulo ``n + 1`` to use; default is the smallest one.
+    shift:
+        Exponent offset (0 by default).
+    """
+    p = order + 1
+    if order < 1:
+        raise ConstructionError(f"order must be positive, got {order}")
+    if not is_prime(p):
+        raise ConstructionError(
+            f"Welch construction needs order + 1 prime; {p} is not prime"
+        )
+    g = primitive_root(p) if root is None else root
+    if root is not None:
+        # Validate the caller-supplied root.
+        field = GaloisField(p)
+        if not field.is_primitive(root % p):
+            raise ConstructionError(f"{root} is not a primitive root modulo {p}")
+    values = [pow(g, i + shift, p) for i in range(1, p)]
+    return CostasArray.from_one_based(values)
+
+
+def lempel_construction(order: int, *, generator: Optional[int] = None) -> CostasArray:
+    """Lempel construction ``L2``: a symmetric Costas array of order ``q - 2``.
+
+    Requires ``order + 2`` to be a prime power ``q``.  With ``α`` primitive in
+    :math:`GF(q)`, the array has a mark at ``(i, j)`` iff ``α^i + α^j = 1``
+    for ``1 <= i, j <= q - 2``; because the map is an involution the resulting
+    array is symmetric about the main diagonal.
+    """
+    q = order + 2
+    if order < 1:
+        raise ConstructionError(f"order must be positive, got {order}")
+    ok, _, _ = is_prime_power(q)
+    if not ok:
+        raise ConstructionError(
+            f"Lempel construction needs order + 2 to be a prime power; {q} is not"
+        )
+    field = GaloisField.of_order(q)
+    alpha = field.generator if generator is None else generator
+    if generator is not None and not field.is_primitive(alpha):
+        raise ConstructionError(f"{generator} is not primitive in GF({q})")
+    return _two_generator_array(field, alpha, alpha)
+
+
+def golomb_construction(
+    order: int,
+    *,
+    alpha: Optional[int] = None,
+    beta: Optional[int] = None,
+) -> CostasArray:
+    """Golomb construction ``G2``: a Costas array of order ``q - 2``.
+
+    Requires ``order + 2`` to be a prime power ``q``.  With ``α`` and ``β``
+    primitive elements of :math:`GF(q)` (not necessarily distinct — ``α = β``
+    recovers the Lempel construction), the array has a mark at ``(i, j)`` iff
+    ``α^i + β^j = 1``.  When the field has at least two primitive elements and
+    none are supplied, two distinct ones are chosen so the result generally
+    differs from :func:`lempel_construction`.
+    """
+    q = order + 2
+    if order < 1:
+        raise ConstructionError(f"order must be positive, got {order}")
+    ok, _, _ = is_prime_power(q)
+    if not ok:
+        raise ConstructionError(
+            f"Golomb construction needs order + 2 to be a prime power; {q} is not"
+        )
+    field = GaloisField.of_order(q)
+    primitives = field.primitive_elements()
+    if alpha is None:
+        alpha = primitives[0]
+    if beta is None:
+        beta = primitives[1] if len(primitives) > 1 else primitives[0]
+    for name, g in (("alpha", alpha), ("beta", beta)):
+        if not field.is_primitive(g):
+            raise ConstructionError(f"{name}={g} is not primitive in GF({q})")
+    return _two_generator_array(field, alpha, beta)
+
+
+def _two_generator_array(field: GaloisField, alpha: int, beta: int) -> CostasArray:
+    """Common core of the Lempel/Golomb constructions.
+
+    For every ``i`` in ``1 .. q-2`` there is exactly one ``j`` in ``1 .. q-2``
+    with ``α^i + β^j = 1`` (since ``1 - α^i`` is non-zero whenever
+    ``α^i != 1``), and the map ``i -> j`` is a bijection.
+    """
+    q = field.q
+    one = 1
+    perm = np.empty(q - 2, dtype=np.int64)
+    for i in range(1, q - 1):
+        ai = field.exp(i, alpha) if alpha == field.generator else field.power(alpha, i)
+        rhs = field.sub(one, ai)
+        if rhs == 0:  # pragma: no cover - impossible for 1 <= i <= q-2
+            raise ConstructionError("unexpected zero while building Golomb array")
+        j = field.log(rhs, beta)
+        if not 1 <= j <= q - 2:  # pragma: no cover - implies alpha^i == 0
+            raise ConstructionError("Golomb construction produced an out-of-range index")
+        perm[i - 1] = j - 1
+    return CostasArray.from_permutation(perm)
+
+
+def corner_deletion(array: CostasArray, *, corner: str = "auto") -> CostasArray:
+    """Remove a corner mark to obtain a Costas array of order ``n - 1``.
+
+    If a Costas array has a mark in one of the four corners of the grid,
+    deleting that mark's row and column leaves the pairwise displacement
+    vectors of the remaining marks untouched, so the result is again a Costas
+    array.  This is how the classical ``W2``/``G3`` variants are obtained from
+    ``W1``/``G2``.
+
+    Parameters
+    ----------
+    array:
+        The Costas array to shrink.
+    corner:
+        One of ``"auto"`` (use the first corner that holds a mark),
+        ``"bottom-left"``, ``"top-left"``, ``"bottom-right"``, ``"top-right"``.
+
+    Raises
+    ------
+    ConstructionError
+        If the requested corner (or, for ``"auto"``, every corner) is empty.
+    """
+    p = list(array.permutation)
+    n = len(p)
+    corners = {
+        "bottom-left": (0, 0),
+        "top-left": (0, n - 1),
+        "bottom-right": (n - 1, 0),
+        "top-right": (n - 1, n - 1),
+    }
+    if corner == "auto":
+        candidates = list(corners.items())
+    else:
+        if corner not in corners:
+            raise ConstructionError(
+                f"unknown corner {corner!r}; expected one of {sorted(corners)} or 'auto'"
+            )
+        candidates = [(corner, corners[corner])]
+
+    for _, (col, row) in candidates:
+        if p[col] != row:
+            continue
+        remaining = p[:col] + p[col + 1 :]
+        # Renumber values: removing the extreme row shifts the values above it
+        # down by one (or leaves them unchanged if the removed row was the top).
+        shrunk = [v - 1 if v > row else v for v in remaining]
+        return CostasArray.from_permutation(shrunk)
+    raise ConstructionError(
+        "corner deletion requires a mark in the requested corner"
+        if corner != "auto"
+        else "array has no corner mark; corner deletion does not apply"
+    )
+
+
+def available_constructions(order: int) -> List[str]:
+    """Names of the direct constructions applicable to *order*.
+
+    ``"welch"`` when ``order + 1`` is prime, ``"lempel"``/``"golomb"`` when
+    ``order + 2`` is a prime power.  Corner-deletion corollaries are not
+    listed because their applicability depends on the parent array.
+    """
+    out: List[str] = []
+    if order >= 1 and is_prime(order + 1):
+        out.append("welch")
+    if order >= 1 and is_prime_power(order + 2)[0]:
+        out.append("lempel")
+        out.append("golomb")
+    return out
+
+
+def constructible_orders(max_order: int) -> Dict[int, List[str]]:
+    """Map each order up to *max_order* to its applicable direct constructions."""
+    return {
+        n: names for n in range(1, max_order + 1) if (names := available_constructions(n))
+    }
+
+
+_BUILDERS: Dict[str, Callable[[int], CostasArray]] = {
+    "welch": welch_construction,
+    "lempel": lempel_construction,
+    "golomb": golomb_construction,
+}
+
+
+def construct(order: int, *, method: Optional[str] = None) -> CostasArray:
+    """Build a Costas array of the requested order by any applicable construction.
+
+    With ``method=None`` the constructions are tried in the order Welch,
+    Lempel, Golomb, then corner deletion from a constructible array of order
+    ``order + 1``.  Raises :class:`ConstructionError` when no known
+    construction applies (e.g. order 32).
+    """
+    if method is not None:
+        if method not in _BUILDERS:
+            raise ConstructionError(
+                f"unknown construction {method!r}; expected one of {sorted(_BUILDERS)}"
+            )
+        return _BUILDERS[method](order)
+
+    for name in ("welch", "lempel", "golomb"):
+        if name in available_constructions(order):
+            return _BUILDERS[name](order)
+    # Corner-deletion fallback: build order + 1 directly and delete a corner.
+    parent_methods = available_constructions(order + 1)
+    for name in parent_methods:
+        try:
+            return corner_deletion(_BUILDERS[name](order + 1))
+        except ConstructionError:
+            continue
+    raise ConstructionError(
+        f"no known algebraic construction applies to order {order}"
+    )

@@ -1,0 +1,125 @@
+"""Published Costas array counts.
+
+The enumeration of all Costas arrays is itself a research topic (the paper
+cites Drakakis et al.'s enumerations of orders 28 and 29).  This module records
+the published counts so that
+
+* :mod:`repro.costas.enumeration` can be validated against ground truth for
+  the orders it can exhaustively enumerate in reasonable time, and
+* examples and documentation can quote solution densities (the number of
+  Costas arrays divided by ``n!``), which is the quantity that makes the CAP a
+  low-solution-density benchmark and motivates the multi-walk parallelism of
+  the paper.
+
+Two tables are provided:
+
+* :data:`KNOWN_COSTAS_COUNTS` — total number of Costas arrays per order
+  (OEIS A008404);
+* :data:`KNOWN_EQUIVALENCE_CLASS_COUNTS` — number of equivalence classes up to
+  rotation and reflection (OEIS A001441); e.g. order 29 has 164 arrays in 23
+  classes, the figures quoted in Section II of the paper.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Dict, Optional
+
+__all__ = [
+    "KNOWN_COSTAS_COUNTS",
+    "KNOWN_EQUIVALENCE_CLASS_COUNTS",
+    "known_count",
+    "known_class_count",
+    "solution_density",
+]
+
+#: Total number of Costas arrays for each order with a published enumeration.
+KNOWN_COSTAS_COUNTS: Dict[int, int] = {
+    1: 1,
+    2: 2,
+    3: 4,
+    4: 12,
+    5: 40,
+    6: 116,
+    7: 200,
+    8: 444,
+    9: 760,
+    10: 2160,
+    11: 4368,
+    12: 7852,
+    13: 12828,
+    14: 17252,
+    15: 19612,
+    16: 21104,
+    17: 18276,
+    18: 15096,
+    19: 10240,
+    20: 6464,
+    21: 3536,
+    22: 2052,
+    23: 872,
+    24: 200,
+    25: 88,
+    26: 56,
+    27: 204,
+    28: 712,
+    29: 164,
+}
+
+#: Number of equivalence classes up to the dihedral symmetries, per order.
+KNOWN_EQUIVALENCE_CLASS_COUNTS: Dict[int, int] = {
+    1: 1,
+    2: 1,
+    3: 1,
+    4: 2,
+    5: 6,
+    6: 17,
+    7: 30,
+    8: 60,
+    9: 100,
+    10: 277,
+    11: 555,
+    12: 990,
+    13: 1616,
+    14: 2168,
+    15: 2467,
+    16: 2648,
+    17: 2294,
+    18: 1892,
+    19: 1283,
+    20: 810,
+    21: 446,
+    22: 259,
+    23: 114,
+    24: 25,
+    25: 12,
+    26: 8,
+    27: 29,
+    28: 89,
+    29: 23,
+}
+
+
+def known_count(order: int) -> Optional[int]:
+    """Published number of Costas arrays of *order*, or ``None`` if unknown."""
+    return KNOWN_COSTAS_COUNTS.get(order)
+
+
+def known_class_count(order: int) -> Optional[int]:
+    """Published number of symmetry classes of *order*, or ``None`` if unknown."""
+    return KNOWN_EQUIVALENCE_CLASS_COUNTS.get(order)
+
+
+def solution_density(order: int) -> Optional[float]:
+    """Fraction of the ``n!`` permutations that are Costas arrays.
+
+    Returns ``None`` when the count for *order* is not published.  The density
+    collapses rapidly (about ``2e-27`` at order 29), which is what makes the
+    CAP such a hard benchmark for stochastic search and what the paper's
+    multi-walk parallelisation exploits: independent restarts sample the
+    search space much faster than a single walk.
+    """
+    count = known_count(order)
+    if count is None:
+        return None
+    return count / factorial(order)

@@ -1,0 +1,372 @@
+"""Minimal finite-field (Galois field) arithmetic substrate.
+
+The algebraic Costas constructions of Welch, Lempel and Golomb are stated over
+finite fields: Welch uses the multiplicative group of :math:`GF(p)` (primitive
+roots modulo a prime), while Lempel and Golomb need a primitive element of an
+arbitrary :math:`GF(q)` with :math:`q = p^m` a prime power.  The paper relies
+on these constructions for context (orders for which constructive methods
+exist), so this module implements just enough field arithmetic to support
+them:
+
+* primality testing and integer factorisation for small integers;
+* primitive roots modulo a prime;
+* :class:`GaloisField` — :math:`GF(p^m)` with elements encoded as integers
+  whose base-``p`` digits are polynomial coefficients, multiplication modulo a
+  monic irreducible polynomial found by trial division, and exp/log tables for
+  a primitive element.
+
+Everything here targets small fields (a few thousand elements at most), which
+is all the constructions ever need for the problem sizes this repository works
+with; clarity is preferred over asymptotic cleverness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "is_prime",
+    "prime_factors",
+    "factorize",
+    "is_prime_power",
+    "primitive_root",
+    "GaloisField",
+]
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test for small integers (trial division)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def factorize(n: int) -> Dict[int, int]:
+    """Return the prime factorisation of *n* as a ``{prime: exponent}`` dict."""
+    if n < 1:
+        raise ValueError(f"can only factorise positive integers, got {n}")
+    factors: Dict[int, int] = {}
+    remaining = n
+    f = 2
+    while f * f <= remaining:
+        while remaining % f == 0:
+            factors[f] = factors.get(f, 0) + 1
+            remaining //= f
+        f += 1 if f == 2 else 2
+    if remaining > 1:
+        factors[remaining] = factors.get(remaining, 0) + 1
+    return factors
+
+
+def prime_factors(n: int) -> List[int]:
+    """Distinct prime factors of *n*, in increasing order."""
+    return sorted(factorize(n))
+
+
+def is_prime_power(n: int) -> Tuple[bool, int, int]:
+    """Return ``(True, p, m)`` if ``n == p**m`` with ``p`` prime, else ``(False, 0, 0)``."""
+    if n < 2:
+        return (False, 0, 0)
+    factors = factorize(n)
+    if len(factors) != 1:
+        return (False, 0, 0)
+    ((p, m),) = factors.items()
+    return (True, p, m)
+
+
+def primitive_root(p: int) -> int:
+    """Smallest primitive root modulo the prime *p*.
+
+    A primitive root generates the whole multiplicative group mod ``p``; it is
+    what the Welch construction exponentiates.
+    """
+    if not is_prime(p):
+        raise ValueError(f"{p} is not prime")
+    if p == 2:
+        return 1
+    order = p - 1
+    checks = [order // r for r in prime_factors(order)]
+    for g in range(2, p):
+        if all(pow(g, c, p) != 1 for c in checks):
+            return g
+    raise RuntimeError(f"no primitive root found for prime {p}")  # pragma: no cover
+
+
+# --------------------------------------------------------------------------- GF(p^m)
+def _poly_from_int(x: int, p: int) -> List[int]:
+    """Base-*p* digits of *x*, least significant first (polynomial coefficients)."""
+    digits: List[int] = []
+    while x:
+        digits.append(x % p)
+        x //= p
+    return digits
+
+
+def _poly_to_int(coeffs: Sequence[int], p: int) -> int:
+    x = 0
+    for c in reversed(list(coeffs)):
+        x = x * p + (c % p)
+    return x
+
+
+def _poly_mul(a: Sequence[int], b: Sequence[int], p: int) -> List[int]:
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            out[i + j] = (out[i + j] + ai * bj) % p
+    while out and out[-1] == 0:
+        out.pop()
+    return out
+
+
+def _poly_mod(a: Sequence[int], mod: Sequence[int], p: int) -> List[int]:
+    """Remainder of polynomial *a* divided by monic polynomial *mod* over GF(p)."""
+    a = list(a)
+    deg_mod = len(mod) - 1
+    lead_inv = pow(mod[-1], p - 2, p) if mod[-1] != 1 else 1
+    while len(a) - 1 >= deg_mod and any(a):
+        while a and a[-1] == 0:
+            a.pop()
+        if len(a) - 1 < deg_mod:
+            break
+        shift = len(a) - 1 - deg_mod
+        factor = (a[-1] * lead_inv) % p
+        for i, c in enumerate(mod):
+            a[shift + i] = (a[shift + i] - factor * c) % p
+        while a and a[-1] == 0:
+            a.pop()
+    return a
+
+
+def _poly_divides(divisor: Sequence[int], poly: Sequence[int], p: int) -> bool:
+    return not _poly_mod(poly, divisor, p)
+
+
+def _monic_polys(degree: int, p: int) -> Iterable[List[int]]:
+    """All monic polynomials of the given degree over GF(p)."""
+    count = p**degree
+    for low in range(count):
+        coeffs = []
+        x = low
+        for _ in range(degree):
+            coeffs.append(x % p)
+            x //= p
+        coeffs.append(1)
+        yield coeffs
+
+
+def _find_irreducible(p: int, m: int) -> List[int]:
+    """A monic irreducible polynomial of degree *m* over GF(p), by trial division."""
+    if m == 1:
+        return [0, 1]  # x itself; unused in practice (GF(p) short-circuits)
+    for candidate in _monic_polys(m, p):
+        if candidate[0] == 0:
+            continue  # divisible by x
+        reducible = False
+        for deg in range(1, m // 2 + 1):
+            for divisor in _monic_polys(deg, p):
+                if _poly_divides(divisor, candidate, p):
+                    reducible = True
+                    break
+            if reducible:
+                break
+        if not reducible:
+            return candidate
+    raise RuntimeError(
+        f"no irreducible polynomial of degree {m} over GF({p})"
+    )  # pragma: no cover
+
+
+@dataclass
+class GaloisField:
+    """The finite field :math:`GF(p^m)` with exp/log tables.
+
+    Elements are represented as integers in ``0 .. q-1`` whose base-``p``
+    digits are the coefficients of the corresponding polynomial.  For ``m = 1``
+    this coincides with ordinary arithmetic modulo ``p``.
+
+    Attributes
+    ----------
+    p, m, q:
+        Characteristic, extension degree and field size ``q = p**m``.
+    modulus:
+        Coefficients (ascending degree) of the irreducible polynomial used for
+        reduction; for ``m = 1`` this is ``[0, 1]`` and unused.
+    generator:
+        A primitive element: its powers run through all ``q - 1`` non-zero
+        elements.
+    """
+
+    p: int
+    m: int = 1
+    q: int = field(init=False)
+    modulus: List[int] = field(init=False)
+    generator: int = field(init=False)
+    _exp: List[int] = field(init=False, repr=False)
+    _log: Dict[int, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not is_prime(self.p):
+            raise ValueError(f"characteristic must be prime, got {self.p}")
+        if self.m < 1:
+            raise ValueError(f"extension degree must be >= 1, got {self.m}")
+        self.q = self.p**self.m
+        self.modulus = _find_irreducible(self.p, self.m) if self.m > 1 else [0, 1]
+        self.generator = self._find_primitive_element()
+        self._build_tables(self.generator)
+
+    @classmethod
+    def of_order(cls, q: int) -> "GaloisField":
+        """Build :math:`GF(q)` from the field size, which must be a prime power."""
+        ok, p, m = is_prime_power(q)
+        if not ok:
+            raise ValueError(f"{q} is not a prime power")
+        return cls(p, m)
+
+    # ----------------------------------------------------------- arithmetic
+    def add(self, a: int, b: int) -> int:
+        """Field addition (coefficient-wise modulo p)."""
+        self._check(a), self._check(b)
+        if self.m == 1:
+            return (a + b) % self.p
+        pa, pb = _poly_from_int(a, self.p), _poly_from_int(b, self.p)
+        length = max(len(pa), len(pb))
+        pa += [0] * (length - len(pa))
+        pb += [0] * (length - len(pb))
+        return _poly_to_int([(x + y) % self.p for x, y in zip(pa, pb)], self.p)
+
+    def neg(self, a: int) -> int:
+        """Additive inverse."""
+        self._check(a)
+        if self.m == 1:
+            return (-a) % self.p
+        return _poly_to_int([(-c) % self.p for c in _poly_from_int(a, self.p)], self.p)
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction."""
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication (polynomial product reduced by the modulus)."""
+        self._check(a), self._check(b)
+        if self.m == 1:
+            return (a * b) % self.p
+        prod = _poly_mul(_poly_from_int(a, self.p), _poly_from_int(b, self.p), self.p)
+        return _poly_to_int(_poly_mod(prod, self.modulus, self.p), self.p)
+
+    def power(self, a: int, e: int) -> int:
+        """``a`` raised to the integer exponent ``e`` (``e`` may be negative)."""
+        self._check(a)
+        if a == 0:
+            if e <= 0:
+                raise ZeroDivisionError("0 cannot be raised to a non-positive power")
+            return 0
+        e %= self.q - 1
+        result = 1
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse of a non-zero element."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        return self.power(a, self.q - 2)
+
+    def element_order(self, a: int) -> int:
+        """Multiplicative order of a non-zero element."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative order")
+        order = self.q - 1
+        for r in prime_factors(order):
+            while order % r == 0 and self.power(a, order // r) == 1:
+                order //= r
+        return order
+
+    # -------------------------------------------------------------- discrete log
+    def exp(self, e: int, base: int | None = None) -> int:
+        """``generator ** e`` via the precomputed table (or ``base ** e``)."""
+        if base is None or base == self.generator:
+            return self._exp[e % (self.q - 1)]
+        return self.power(base, e)
+
+    def log(self, a: int, base: int | None = None) -> int:
+        """Discrete logarithm of *a* (non-zero) with respect to the generator.
+
+        A different primitive *base* may be given; it is resolved through the
+        generator's table (``log_base(a) = log_g(a) / log_g(base) mod q-1``).
+        """
+        if a == 0:
+            raise ZeroDivisionError("0 has no discrete logarithm")
+        self._check(a)
+        lg = self._log[a]
+        if base is None or base == self.generator:
+            return lg
+        lb = self._log[base]
+        # base must be primitive for the modular inverse to exist.
+        g = self.q - 1
+        inv = pow(lb, -1, g)
+        return (lg * inv) % g
+
+    def is_primitive(self, a: int) -> bool:
+        """``True`` iff *a* generates the whole multiplicative group."""
+        return a != 0 and self.element_order(a) == self.q - 1
+
+    def primitive_elements(self) -> List[int]:
+        """All primitive elements of the field, in increasing integer encoding."""
+        return [a for a in range(1, self.q) if self.is_primitive(a)]
+
+    def elements(self) -> range:
+        """All field elements (integer encodings ``0 .. q-1``)."""
+        return range(self.q)
+
+    # ------------------------------------------------------------------ internals
+    def _check(self, a: int) -> None:
+        if not 0 <= a < self.q:
+            raise ValueError(f"{a} is not an element of GF({self.q})")
+
+    def _find_primitive_element(self) -> int:
+        if self.q == 2:
+            return 1
+        for a in range(2, self.q):
+            # Temporarily compute the order without tables (tables need the generator).
+            order = self.q - 1
+            is_gen = True
+            for r in prime_factors(order):
+                if self.power(a, order // r) == 1:
+                    is_gen = False
+                    break
+            if is_gen:
+                return a
+        raise RuntimeError(f"no primitive element in GF({self.q})")  # pragma: no cover
+
+    def _build_tables(self, g: int) -> None:
+        exp_table = [1] * (self.q - 1)
+        log_table: Dict[int, int] = {1: 0}
+        cur = 1
+        for e in range(1, self.q - 1):
+            cur = self.mul(cur, g)
+            exp_table[e] = cur
+            log_table[cur] = e
+        if len(log_table) != self.q - 1:  # pragma: no cover - guarded by construction
+            raise RuntimeError("generator does not span the multiplicative group")
+        self._exp = exp_table
+        self._log = log_table

@@ -1,0 +1,127 @@
+"""Dihedral symmetries of Costas arrays.
+
+The symmetry group of the square (order 8) acts on Costas arrays and preserves
+the Costas property: flipping the grid horizontally or vertically, or
+transposing it, permutes the set of displacement vectors without ever merging
+two of them.  The enumeration literature therefore reports both the raw count
+of Costas arrays and the number of equivalence classes "up to rotation and
+reflection" (e.g. 164 arrays but 23 classes for order 29, as quoted in the
+paper).
+
+On the permutation representation (``p[c]`` = row of the mark in column ``c``,
+everything 0-based) the three generators are:
+
+* :func:`reverse` — flip columns: ``q[c] = p[n-1-c]``;
+* :func:`complement` — flip rows: ``q[c] = n-1-p[c]``;
+* :func:`transpose` — reflect along the main diagonal: ``q[p[c]] = c`` (the
+  inverse permutation).
+
+The full group is obtained by composing these; :func:`all_symmetries` returns
+the 8 images (with duplicates when the array is itself symmetric).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.costas.array import as_permutation
+
+__all__ = [
+    "reverse",
+    "complement",
+    "transpose",
+    "rotate90",
+    "all_symmetries",
+    "canonical_form",
+    "orbit",
+    "SYMMETRY_NAMES",
+]
+
+
+def reverse(perm: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Horizontal flip: reverse the order of the columns."""
+    p = as_permutation(perm, copy=False)
+    return p[::-1].copy()
+
+
+def complement(perm: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Vertical flip: replace each value ``v`` by ``n - 1 - v``."""
+    p = as_permutation(perm, copy=False)
+    return (p.size - 1) - p
+
+
+def transpose(perm: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Reflection along the main diagonal: the inverse permutation."""
+    p = as_permutation(perm, copy=False)
+    q = np.empty_like(p)
+    q[p] = np.arange(p.size, dtype=p.dtype)
+    return q
+
+
+def rotate90(perm: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Rotate the grid by 90 degrees (counter-clockwise).
+
+    Implemented as a transpose followed by a vertical flip; applying it four
+    times returns the original array.
+    """
+    return complement(transpose(perm))
+
+
+#: Human-readable names of the 8 group elements, in the order produced by
+#: :func:`all_symmetries`.
+SYMMETRY_NAMES: Tuple[str, ...] = (
+    "identity",
+    "reverse",
+    "complement",
+    "reverse+complement",
+    "transpose",
+    "transpose+reverse",
+    "transpose+complement",
+    "transpose+reverse+complement",
+)
+
+
+def _identity(p: np.ndarray) -> np.ndarray:
+    return p.copy()
+
+
+_BASE_OPS: Tuple[Callable[[np.ndarray], np.ndarray], ...] = (
+    _identity,
+    reverse,
+    complement,
+    lambda p: complement(reverse(p)),
+)
+
+
+def all_symmetries(perm: Sequence[int] | np.ndarray) -> List[np.ndarray]:
+    """Return the 8 images of *perm* under the dihedral group.
+
+    Duplicates are **not** removed (use :func:`orbit` for the distinct images),
+    so the result always has exactly 8 entries, aligned with
+    :data:`SYMMETRY_NAMES`.
+    """
+    p = as_permutation(perm)
+    out: List[np.ndarray] = []
+    for base in (p, transpose(p)):
+        for op in _BASE_OPS:
+            out.append(op(base))
+    return out
+
+
+def orbit(perm: Sequence[int] | np.ndarray) -> List[Tuple[int, ...]]:
+    """Distinct images of *perm* under the dihedral group, as sorted tuples."""
+    seen = {tuple(int(v) for v in q) for q in all_symmetries(perm)}
+    return sorted(seen)
+
+
+def canonical_form(perm: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Lexicographically smallest element of the symmetry orbit of *perm*.
+
+    Two Costas arrays are equivalent up to rotation/reflection iff their
+    canonical forms are equal, which is how
+    :func:`repro.costas.enumeration.equivalence_classes` groups them.
+    """
+    best = min(orbit(perm))
+    return np.array(best, dtype=np.int64)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch any failure originating from this package with a single ``except`` clause
+while still being able to discriminate finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidPermutationError",
+    "ConstructionError",
+    "ModelError",
+    "SolverError",
+    "BudgetExhaustedError",
+    "ParallelExecutionError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class InvalidPermutationError(ReproError, ValueError):
+    """A sequence that was expected to be a permutation of ``0..n-1`` is not."""
+
+
+class ConstructionError(ReproError, ValueError):
+    """An algebraic Costas construction cannot be applied to the requested order.
+
+    For example the Welch construction requires ``n + 1`` to be prime, and the
+    Golomb/Lempel constructions require ``n + 2`` to be a prime power.
+    """
+
+
+class ModelError(ReproError, ValueError):
+    """A local-search problem model was configured inconsistently."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A solver failed in a way that is not simply "budget exhausted"."""
+
+
+class BudgetExhaustedError(SolverError):
+    """A solver stopped because its iteration / restart / time budget ran out.
+
+    The partially-completed result is attached as :attr:`result` when available
+    so callers may still inspect the best configuration reached.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A failure in the parallel multi-walk machinery (worker crash, bad reply)."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """Statistical analysis was asked to operate on unusable data."""

@@ -1,0 +1,75 @@
+"""Registry mapping experiment identifiers to their driver functions.
+
+Used by the CLI (``repro experiment <id>``) and by integration tests that
+want to iterate over every reproduced table/figure without importing each
+driver module explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.ablations import ABLATIONS, run_ablation
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ExperimentScale
+from repro.experiments.cp_comparison import run_cp_comparison
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.parallel.runner import ExperimentRunner
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments", "run_experiment"]
+
+Driver = Callable[[Optional[ExperimentScale], Optional[ExperimentRunner]], ExperimentResult]
+
+
+def _ablation_driver(name: str) -> Driver:
+    def driver(scale=None, runner=None):
+        return run_ablation(name, scale, runner)
+
+    driver.__name__ = f"run_ablation_{name}"
+    driver.__doc__ = f"Ablation study {name!r} (Section IV-B)."
+    return driver
+
+
+#: All reproduced experiments, keyed by identifier.
+EXPERIMENTS: Dict[str, Driver] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "cp": run_cp_comparison,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    **{f"ablation-{name}": _ablation_driver(name) for name in ABLATIONS},
+}
+
+
+def list_experiments() -> List[str]:
+    """Identifiers of every registered experiment, sorted."""
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(identifier: str) -> Driver:
+    """Look an experiment driver up by identifier."""
+    if identifier not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {identifier!r}; known: {', '.join(list_experiments())}"
+        )
+    return EXPERIMENTS[identifier]
+
+
+def run_experiment(
+    identifier: str,
+    scale: Optional[ExperimentScale] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Run one experiment by identifier."""
+    return get_experiment(identifier)(scale, runner)

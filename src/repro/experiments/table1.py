@@ -1,0 +1,92 @@
+"""Table I — evaluation of the sequential Adaptive Search implementation.
+
+For each instance order the paper reports, over 100 runs: the average, minimum
+and maximum of the solving time, of the iteration count and of the number of
+local minima, plus the ratio between the average and the best run.  The driver
+reproduces the same rows (with the scaled-down orders and run counts of the
+chosen :class:`~repro.experiments.config.ExperimentScale`) from a pool of
+sequential runs collected by the shared
+:class:`~repro.parallel.runner.ExperimentRunner`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.stats import best_to_average_ratio, summarize
+from repro.analysis.tables import format_table
+from repro.experiments.base import ExperimentResult, costas_factory, costas_params, shared_runner
+from repro.experiments.config import ExperimentScale
+from repro.parallel.runner import ExperimentRunner
+
+__all__ = ["run_table1"]
+
+
+def run_table1(
+    scale: Optional[ExperimentScale] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Reproduce Table I (sequential evaluation) at the given scale."""
+    scale = scale if scale is not None else ExperimentScale.default()
+    runner = shared_runner(runner)
+    result = ExperimentResult(experiment="table1", scale=scale.name)
+
+    table_rows = []
+    for order in scale.table1_orders:
+        pool = runner.collect_pool(
+            costas_factory(order), costas_params(order), scale.table1_runs
+        )
+        times = pool.wall_times()
+        iterations = pool.iterations()
+        local_minima = np.array(
+            [s.local_minima for s in pool.solved_samples], dtype=np.float64
+        )
+        time_summary = summarize(times)
+        iter_summary = summarize(iterations)
+        lm_summary = summarize(local_minima)
+        ratio = best_to_average_ratio(times, fallback=iterations)
+
+        result.rows.append(
+            {
+                "order": order,
+                "runs": len(pool),
+                "solved": len(pool.solved_samples),
+                "time_avg": time_summary.mean,
+                "time_min": time_summary.minimum,
+                "time_max": time_summary.maximum,
+                "iterations_avg": iter_summary.mean,
+                "iterations_min": iter_summary.minimum,
+                "iterations_max": iter_summary.maximum,
+                "local_minima_avg": lm_summary.mean,
+                "local_minima_min": lm_summary.minimum,
+                "local_minima_max": lm_summary.maximum,
+                "ratio_avg_over_min": ratio,
+            }
+        )
+        for stat, t, it, lm in (
+            ("avg", time_summary.mean, iter_summary.mean, lm_summary.mean),
+            ("min", time_summary.minimum, iter_summary.minimum, lm_summary.minimum),
+            ("max", time_summary.maximum, iter_summary.maximum, lm_summary.maximum),
+        ):
+            table_rows.append(
+                [
+                    order if stat == "avg" else "",
+                    stat,
+                    t,
+                    round(it),
+                    round(lm),
+                    round(ratio) if stat == "min" else "",
+                ]
+            )
+
+    result.metadata["table"] = format_table(
+        ["Size", "stat", "Time (s)", "Iterations", "Local min", "ratio"],
+        table_rows,
+        float_format="{:.3f}",
+        title="Table I — sequential Adaptive Search on the Costas Array Problem",
+    )
+    result.metadata["orders"] = list(scale.table1_orders)
+    result.metadata["runs_per_order"] = scale.table1_runs
+    return result

@@ -1,0 +1,31 @@
+"""Table III — execution times on the HA8000 machine model (1–256 cores)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult, shared_runner
+from repro.experiments.config import ExperimentScale
+from repro.experiments.parallel_tables import build_parallel_table
+from repro.parallel.cluster import HA8000
+from repro.parallel.runner import ExperimentRunner
+
+__all__ = ["run_table3"]
+
+
+def run_table3(
+    scale: Optional[ExperimentScale] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Reproduce Table III (HA8000 execution times) at the given scale."""
+    scale = scale if scale is not None else ExperimentScale.default()
+    runner = shared_runner(runner)
+    return build_parallel_table(
+        experiment="table3",
+        title="Table III — simulated execution times (s) on HA8000",
+        scale=scale,
+        runner=runner,
+        machine=HA8000,
+        orders=scale.table3_orders,
+        cores=scale.table3_cores,
+    )

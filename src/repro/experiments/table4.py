@@ -1,0 +1,31 @@
+"""Table IV — execution times on the JUGENE (Blue Gene/P) machine model (512–8,192 cores)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult, shared_runner
+from repro.experiments.config import ExperimentScale
+from repro.experiments.parallel_tables import build_parallel_table
+from repro.parallel.cluster import JUGENE
+from repro.parallel.runner import ExperimentRunner
+
+__all__ = ["run_table4"]
+
+
+def run_table4(
+    scale: Optional[ExperimentScale] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Reproduce Table IV (JUGENE execution times) at the given scale."""
+    scale = scale if scale is not None else ExperimentScale.default()
+    runner = shared_runner(runner)
+    return build_parallel_table(
+        experiment="table4",
+        title="Table IV — simulated execution times (s) on JUGENE (Blue Gene/P)",
+        scale=scale,
+        runner=runner,
+        machine=JUGENE,
+        orders=scale.table4_orders,
+        cores=scale.table4_cores,
+    )

@@ -1,0 +1,49 @@
+"""Table V — execution times on the Grid'5000 Suno and Helios machine models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.tables import format_paper_table
+from repro.experiments.base import ExperimentResult, shared_runner
+from repro.experiments.config import ExperimentScale
+from repro.experiments.parallel_tables import build_parallel_table
+from repro.parallel.cluster import HELIOS, SUNO
+from repro.parallel.runner import ExperimentRunner
+
+__all__ = ["run_table5"]
+
+
+def run_table5(
+    scale: Optional[ExperimentScale] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentResult:
+    """Reproduce Table V (Grid'5000 Suno + Helios execution times) at the given scale."""
+    scale = scale if scale is not None else ExperimentScale.default()
+    runner = shared_runner(runner)
+
+    suno = build_parallel_table(
+        experiment="table5-suno",
+        title="Table V (left) — simulated execution times (s) on Grid'5000 Suno",
+        scale=scale,
+        runner=runner,
+        machine=SUNO,
+        orders=scale.table5_orders,
+        cores=scale.table5_suno_cores,
+    )
+    helios = build_parallel_table(
+        experiment="table5-helios",
+        title="Table V (right) — simulated execution times (s) on Grid'5000 Helios",
+        scale=scale,
+        runner=runner,
+        machine=HELIOS,
+        orders=scale.table5_orders,
+        cores=scale.table5_helios_cores,
+    )
+
+    result = ExperimentResult(experiment="table5", scale=scale.name)
+    result.rows = suno.rows + helios.rows
+    result.metadata["suno"] = suno.metadata
+    result.metadata["helios"] = helios.metadata
+    result.metadata["table"] = suno.metadata["table"] + "\n\n" + helios.metadata["table"]
+    return result

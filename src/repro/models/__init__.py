@@ -1,0 +1,31 @@
+"""Adaptive Search models of concrete combinatorial problems.
+
+* :class:`~repro.models.costas.CostasProblem` — the paper's target problem, in
+  both the basic form (``ERR(d) = 1``, full difference triangle, generic
+  reset) and the optimised form (``ERR(d) = n² − d²``, Chang half-triangle,
+  dedicated reset procedure);
+* :class:`~repro.models.queens.NQueensProblem` — the N-Queens problem, used by
+  the paper to situate AS performance against the Comet system;
+* :class:`~repro.models.all_interval.AllIntervalProblem` — CSPLib prob007,
+  cited as a relative of the CAP;
+* :class:`~repro.models.magic_square.MagicSquareProblem` — CSPLib prob019,
+  the other benchmark of the AS/Dialectic Search comparison.
+
+All of them implement :class:`repro.core.problem.PermutationProblem`, so any
+solver in :mod:`repro.core`, :mod:`repro.baselines` or :mod:`repro.parallel`
+accepts any of them.
+"""
+
+from repro.models.costas import CostasProblem, basic_costas_problem, optimized_costas_problem
+from repro.models.queens import NQueensProblem
+from repro.models.all_interval import AllIntervalProblem
+from repro.models.magic_square import MagicSquareProblem
+
+__all__ = [
+    "CostasProblem",
+    "basic_costas_problem",
+    "optimized_costas_problem",
+    "NQueensProblem",
+    "AllIntervalProblem",
+    "MagicSquareProblem",
+]

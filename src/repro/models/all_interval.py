@@ -1,0 +1,142 @@
+"""All-Interval Series (CSPLib prob007) as an Adaptive Search permutation problem.
+
+The paper singles out the All-Interval Series problem as one of the three
+classical CSPs conceptually related to the CAP (a one-dimensional cousin of
+the difference-triangle constraint: only the first row of the triangle, in
+absolute value, must be alldifferent).
+
+A configuration is a permutation ``p`` of ``0..n-1``; it is a solution when
+the ``n - 1`` absolute differences ``|p[i+1] - p[i]|`` are pairwise distinct
+(hence exactly ``{1, .., n-1}``).  The cost counts repeated difference
+occurrences, and errors are projected on both endpoints of each repeated
+interval — the same scheme as the Costas model, which makes this problem a
+good minimal test bed for the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.problem import PermutationProblem
+from repro.exceptions import ModelError
+
+__all__ = ["AllIntervalProblem"]
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+class AllIntervalProblem(PermutationProblem):
+    """Find a permutation whose successive absolute differences are all distinct."""
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ModelError(f"All-Interval Series needs n >= 3, got {n}")
+        super().__init__(n, name="all-interval")
+        self._perm = np.arange(n, dtype=np.int64)
+        self._counts = np.zeros(n, dtype=np.int64)  # counts of |difference| values
+        self._cost = 0
+        self._rebuild()
+
+    # ------------------------------------------------------------------- state
+    def _rebuild(self) -> None:
+        self._counts[:] = 0
+        diffs = np.abs(np.diff(self._perm))
+        np.add.at(self._counts, diffs, 1)
+        self._cost = int(np.sum(np.maximum(self._counts - 1, 0)))
+
+    def set_configuration(self, perm: Sequence[int] | np.ndarray) -> None:
+        arr = np.asarray(perm, dtype=np.int64)
+        if arr.shape != (self.size,):
+            raise ModelError(
+                f"expected a configuration of length {self.size}, got shape {arr.shape}"
+            )
+        if not np.array_equal(np.sort(arr), np.arange(self.size)):
+            raise ModelError("configuration is not a permutation of 0..n-1")
+        self._perm = arr.copy()
+        self._rebuild()
+
+    def configuration(self) -> np.ndarray:
+        return self._perm.copy()
+
+    # -------------------------------------------------------------------- cost
+    def cost(self) -> int:
+        return int(self._cost)
+
+    def check_consistency(self) -> None:
+        cached = self._cost
+        self._rebuild()
+        if cached != self._cost:
+            raise AssertionError(f"cached cost {cached} != recomputed {self._cost}")
+
+    def variable_errors(self) -> np.ndarray:
+        """Each repeated interval (non-first occurrence of its absolute difference,
+        scanning left to right) adds 1 to both of its endpoints."""
+        n = self.size
+        errs = np.zeros(n, dtype=np.int64)
+        diffs = np.abs(np.diff(self._perm))
+        _, first_idx = np.unique(diffs, return_index=True)
+        mask = np.ones(diffs.size, dtype=bool)
+        mask[first_idx] = False
+        repeats = np.flatnonzero(mask)
+        np.add.at(errs, repeats, 1)
+        np.add.at(errs, repeats + 1, 1)
+        return errs
+
+    # ------------------------------------------------------------------- moves
+    def _interval_indices(self, i: int, j: int) -> list[int]:
+        """Indices of the difference slots affected by swapping positions i and j."""
+        slots = set()
+        for pos in (i, j):
+            if pos - 1 >= 0:
+                slots.add(pos - 1)
+            if pos <= self.size - 2:
+                slots.add(pos)
+        return sorted(slots)
+
+    def _remove_slot(self, k: int) -> None:
+        v = abs(int(self._perm[k + 1] - self._perm[k]))
+        c = self._counts[v]
+        self._counts[v] = c - 1
+        if c >= 2:
+            self._cost -= 1
+
+    def _add_slot(self, k: int) -> None:
+        v = abs(int(self._perm[k + 1] - self._perm[k]))
+        c = self._counts[v]
+        self._counts[v] = c + 1
+        if c >= 1:
+            self._cost += 1
+
+    def apply_swap(self, i: int, j: int) -> int:
+        if i != j:
+            slots = self._interval_indices(i, j)
+            for k in slots:
+                self._remove_slot(k)
+            self._perm[i], self._perm[j] = self._perm[j], self._perm[i]
+            for k in slots:
+                self._add_slot(k)
+        return int(self._cost)
+
+    def swap_delta(self, i: int, j: int) -> int:
+        if i == j:
+            return 0
+        before = self._cost
+        self.apply_swap(i, j)
+        after = self._cost
+        self.apply_swap(i, j)
+        return after - before
+
+    def swap_deltas(self, i: int) -> np.ndarray:
+        n = self.size
+        deltas = np.empty(n, dtype=np.int64)
+        for j in range(n):
+            deltas[j] = 0 if j == i else self.swap_delta(i, j)
+        deltas[i] = _INT64_MAX
+        return deltas
+
+    # ----------------------------------------------------------------- exports
+    def intervals(self) -> np.ndarray:
+        """The current sequence of absolute differences (length ``n - 1``)."""
+        return np.abs(np.diff(self._perm))

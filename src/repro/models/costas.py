@@ -1,0 +1,357 @@
+"""Adaptive Search model of the Costas Array Problem (Section IV of the paper).
+
+The configuration is a permutation ``p`` of ``0..n-1`` (``p[i]`` = row of the
+mark in column ``i``).  The error functions are defined on the *difference
+triangle*: every repeated value in row ``d`` adds ``ERR(d)`` to the global
+cost and to the error of both columns of the repeated cell.
+
+The model supports the paper's three refinements independently, so each can be
+ablated:
+
+``err_weight``
+    ``"constant"`` — the basic model, ``ERR(d) = 1``;
+    ``"quadratic"`` — the optimised model, ``ERR(d) = n² − d²`` (errors at
+    short distances, whose rows contain more cells, are penalised more; the
+    paper reports ≈ 17% faster solving).
+
+``use_chang``
+    Restrict the triangle to rows ``d ≤ ⌊(n−1)/2⌋``.  By Chang's remark a
+    repeated difference at a larger distance always induces one at a smaller
+    distance, so this is lossless and saves ≈ 30% of the evaluation work.
+
+``dedicated_reset``
+    Replace the generic "re-randomise RP% of the variables" reset by the
+    paper's three-family perturbation procedure (sub-array circular shifts
+    around the most erroneous variable, adding a constant modulo ``n``, and a
+    prefix shift up to a random erroneous variable), reported to be worth a
+    further ≈ 3.7×.
+
+Performance note: the engine's hot path is :meth:`CostasProblem.swap_deltas`
+(all candidate swaps of the culprit variable).  It is vectorised with NumPy —
+all ``n`` candidate configurations are evaluated as one ``(n, n)`` matrix, one
+sort per triangle row — because per-cell incremental updates in pure Python
+are dominated by interpreter overhead at these sizes (see the repository's
+optimisation guide notes in ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import PermutationProblem
+from repro.costas.array import is_costas
+from repro.exceptions import ModelError
+
+__all__ = ["CostasProblem", "basic_costas_problem", "optimized_costas_problem"]
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+class CostasProblem(PermutationProblem):
+    """The Costas Array Problem as an Adaptive Search permutation problem.
+
+    Parameters
+    ----------
+    order:
+        Array order ``n >= 3``.
+    err_weight:
+        ``"quadratic"`` (default, optimised model) or ``"constant"`` (basic model).
+    use_chang:
+        Evaluate only rows ``d <= (n-1)//2`` of the difference triangle
+        (default ``True``).
+    dedicated_reset:
+        Use the paper's custom reset procedure (default ``True``).
+    reset_constants:
+        Constants tried by the "add a constant modulo n" perturbation of the
+        dedicated reset; defaults to the paper's ``(1, 2, n-2, n-3)``.
+    """
+
+    def __init__(
+        self,
+        order: int,
+        *,
+        err_weight: str = "quadratic",
+        use_chang: bool = True,
+        dedicated_reset: bool = True,
+        reset_constants: Optional[Sequence[int]] = None,
+    ) -> None:
+        if order < 3:
+            raise ModelError(f"CostasProblem requires order >= 3, got {order}")
+        super().__init__(order, name="costas")
+        n = order
+        self._use_chang = bool(use_chang)
+        self._dedicated_reset = bool(dedicated_reset)
+        self._max_d = (n - 1) // 2 if use_chang else n - 1
+
+        if err_weight == "quadratic":
+            weights = np.array([n * n - d * d for d in range(n)], dtype=np.int64)
+        elif err_weight == "constant":
+            weights = np.ones(n, dtype=np.int64)
+        else:
+            raise ModelError(
+                f"err_weight must be 'quadratic' or 'constant', got {err_weight!r}"
+            )
+        self._err_weight_name = err_weight
+        self._weights = weights
+
+        if reset_constants is None:
+            candidates = [1, 2, n - 2, n - 3]
+        else:
+            candidates = list(reset_constants)
+        self._reset_constants = sorted(
+            {c % n for c in candidates if c % n != 0}
+        )
+
+        self._perm = np.arange(n, dtype=np.int64)
+        self._cost = self._full_cost(self._perm)
+
+    # ----------------------------------------------------------------- factory
+    @property
+    def order(self) -> int:
+        """Order ``n`` of the Costas array being searched."""
+        return self.size
+
+    @property
+    def max_distance(self) -> int:
+        """Largest difference-triangle row the model evaluates."""
+        return self._max_d
+
+    @property
+    def err_weight_name(self) -> str:
+        """Name of the error weighting in use (``"constant"`` or ``"quadratic"``)."""
+        return self._err_weight_name
+
+    @property
+    def uses_dedicated_reset(self) -> bool:
+        """Whether the paper's custom reset procedure is enabled."""
+        return self._dedicated_reset
+
+    def describe(self) -> str:
+        return (
+            f"costas(n={self.size}, err={self._err_weight_name}, "
+            f"chang={self._use_chang}, dedicated_reset={self._dedicated_reset})"
+        )
+
+    # ------------------------------------------------------------------- state
+    def set_configuration(self, perm: Sequence[int] | np.ndarray) -> None:
+        arr = np.asarray(perm, dtype=np.int64)
+        if arr.shape != (self.size,):
+            raise ModelError(
+                f"expected a configuration of length {self.size}, got shape {arr.shape}"
+            )
+        if not np.array_equal(np.sort(arr), np.arange(self.size)):
+            raise ModelError("configuration is not a permutation of 0..n-1")
+        self._perm = arr.copy()
+        self._cost = self._full_cost(self._perm)
+
+    def configuration(self) -> np.ndarray:
+        return self._perm.copy()
+
+    # -------------------------------------------------------------------- cost
+    def _full_cost(self, perm: np.ndarray) -> int:
+        total = 0
+        for d in range(1, self._max_d + 1):
+            row = np.sort(perm[d:] - perm[:-d])
+            dups = int(np.count_nonzero(row[1:] == row[:-1]))
+            if dups:
+                total += int(self._weights[d]) * dups
+        return total
+
+    def cost(self) -> int:
+        return int(self._cost)
+
+    def is_solution(self) -> bool:
+        return self._cost == 0
+
+    def check_consistency(self) -> None:
+        """Assert the cached cost matches a recomputation and, when the cached
+        cost is zero, that the configuration truly is a Costas array (this is
+        where Chang's half-triangle shortcut would show up if it were wrong)."""
+        recomputed = self._full_cost(self._perm)
+        if recomputed != self._cost:
+            raise AssertionError(
+                f"cached cost {self._cost} != recomputed cost {recomputed}"
+            )
+        if self._cost == 0 and not is_costas(self._perm):
+            raise AssertionError(
+                "model reports cost 0 but the configuration is not a Costas array"
+            )
+
+    # ------------------------------------------------------------------ errors
+    def variable_errors(self) -> np.ndarray:
+        """Project triangle errors onto columns (paper Section IV-A).
+
+        Scanning each row left to right, every cell whose difference value was
+        already seen adds ``ERR(d)`` to the errors of both its columns.
+        """
+        p = self._perm
+        n = self.size
+        errs = np.zeros(n, dtype=np.int64)
+        for d in range(1, self._max_d + 1):
+            row = p[d:] - p[:-d]
+            if row.size <= 1:
+                continue
+            _, first_idx = np.unique(row, return_index=True)
+            mask = np.ones(row.size, dtype=bool)
+            mask[first_idx] = False
+            if not mask.any():
+                continue
+            repeats = np.flatnonzero(mask)
+            w = int(self._weights[d])
+            np.add.at(errs, repeats, w)
+            np.add.at(errs, repeats + d, w)
+        return errs
+
+    # ------------------------------------------------------------------- moves
+    def swap_delta(self, i: int, j: int) -> int:
+        if i == j:
+            return 0
+        p = self._perm.copy()
+        p[i], p[j] = p[j], p[i]
+        return self._full_cost(p) - self._cost
+
+    def apply_swap(self, i: int, j: int) -> int:
+        if i != j:
+            delta = self.swap_delta(i, j)
+            self._perm[i], self._perm[j] = self._perm[j], self._perm[i]
+            self._cost += delta
+        return int(self._cost)
+
+    def swap_deltas(self, i: int) -> np.ndarray:
+        """Vectorised evaluation of every swap involving column *i*.
+
+        Builds the ``(n, n)`` matrix whose row ``j`` is the permutation with
+        columns ``i`` and ``j`` swapped, then scores all rows of every triangle
+        distance at once (sort + adjacent-equality count).
+        """
+        p = self._perm
+        n = self.size
+        candidates = np.broadcast_to(p, (n, n)).copy()
+        rows = np.arange(n)
+        candidates[rows, i] = p[rows]
+        candidates[rows, rows] = p[i]
+
+        costs = np.zeros(n, dtype=np.int64)
+        for d in range(1, self._max_d + 1):
+            diffs = candidates[:, d:] - candidates[:, :-d]
+            if diffs.shape[1] <= 1:
+                continue
+            diffs = np.sort(diffs, axis=1)
+            dups = np.count_nonzero(diffs[:, 1:] == diffs[:, :-1], axis=1)
+            costs += self._weights[d] * dups
+
+        deltas = costs - self._cost
+        deltas[i] = _INT64_MAX
+        return deltas
+
+    # ------------------------------------------------------------------- reset
+    def reset_candidates(self, rng: np.random.Generator) -> List[np.ndarray]:
+        """Generate the perturbations of the paper's dedicated reset (Section IV-B).
+
+        Three families, all anchored on the most erroneous column ``Vm``:
+
+        1. every sub-array ending at ``Vm`` (``[i..m]``) or starting at ``Vm``
+           (``[m..j]``), shifted circularly by one cell to the left and to the
+           right;
+        2. the whole permutation with a constant added modulo ``n``
+           (constants 1, 2, n-2, n-3 by default);
+        3. the prefix ending at a randomly chosen erroneous column different
+           from ``Vm``, shifted left by one cell (at most three such columns
+           are tried).
+        """
+        p = self._perm
+        n = self.size
+        errors = self.variable_errors()
+        worst = int(errors.max())
+        worst_positions = np.flatnonzero(errors == worst)
+        vm = int(worst_positions[rng.integers(worst_positions.size)])
+
+        candidates: List[np.ndarray] = []
+
+        # 1. Circular shifts of every sub-array ending or starting at vm.
+        segments = [(i, vm) for i in range(vm)] + [
+            (vm, j) for j in range(vm + 1, n)
+        ]
+        for lo, hi in segments:
+            for direction in (-1, 1):
+                cand = p.copy()
+                cand[lo : hi + 1] = np.roll(cand[lo : hi + 1], direction)
+                candidates.append(cand)
+
+        # 2. Add a constant modulo n to every value.
+        for c in self._reset_constants:
+            candidates.append((p + c) % n)
+
+        # 3. Left-shift the prefix ending at a random erroneous column != vm.
+        erroneous = np.flatnonzero(errors > 0)
+        erroneous = erroneous[erroneous != vm]
+        if erroneous.size > 0:
+            picks = rng.permutation(erroneous)[:3]
+            for e in picks:
+                e = int(e)
+                if e < 1:
+                    continue
+                cand = p.copy()
+                cand[: e + 1] = np.roll(cand[: e + 1], -1)
+                candidates.append(cand)
+        return candidates
+
+    def custom_reset(self, rng: np.random.Generator) -> Optional[np.ndarray]:
+        """The paper's dedicated reset procedure (Section IV-B).
+
+        Candidate perturbations (see :meth:`reset_candidates`) are examined in
+        random order; the first one whose cost is strictly lower than the
+        current cost is returned immediately ("the local minimum is considered
+        as escaped").  When none improves, one of the minimum-cost candidates
+        is returned (ties broken uniformly at random, so repeated resets from
+        the same configuration do not cycle deterministically).
+
+        Returns ``None`` when the model was built with
+        ``dedicated_reset=False`` so the engine falls back to its generic
+        partial reset.
+        """
+        if not self._dedicated_reset:
+            return None
+
+        entry_cost = self._cost
+        candidates = self.reset_candidates(rng)
+        if not candidates:
+            return None
+
+        best_cost = _INT64_MAX
+        best: List[np.ndarray] = []
+        for index in rng.permutation(len(candidates)):
+            cand = candidates[int(index)]
+            c = self._full_cost(cand)
+            if c < entry_cost:
+                return cand
+            if c < best_cost:
+                best_cost = c
+                best = [cand]
+            elif c == best_cost:
+                best.append(cand)
+        return best[int(rng.integers(len(best)))]
+
+    # ----------------------------------------------------------------- exports
+    def as_costas_array(self):
+        """Return the current configuration as a validated
+        :class:`repro.costas.array.CostasArray` (raises if it is not a solution)."""
+        from repro.costas.array import CostasArray
+
+        return CostasArray.from_permutation(self._perm)
+
+
+def basic_costas_problem(order: int) -> CostasProblem:
+    """The paper's *basic* model: ``ERR(d)=1``, full triangle, generic reset."""
+    return CostasProblem(
+        order, err_weight="constant", use_chang=False, dedicated_reset=False
+    )
+
+
+def optimized_costas_problem(order: int) -> CostasProblem:
+    """The paper's fully optimised model (the defaults of :class:`CostasProblem`)."""
+    return CostasProblem(
+        order, err_weight="quadratic", use_chang=True, dedicated_reset=True
+    )

@@ -1,0 +1,164 @@
+"""Magic Square (CSPLib prob019) as an Adaptive Search permutation problem.
+
+The Magic Square problem is the benchmark the paper uses to compare Adaptive
+Search with Dialectic Search and Comet (Section III), and the problem for
+which the plateau-probability refinement was originally reported to matter
+most, so it is the natural companion model for the plateau ablation benchmark.
+
+A configuration assigns the values ``0 .. n²-1`` (a permutation of the cells)
+to the ``n x n`` grid read row-major: cell ``(r, c)`` holds
+``p[r * n + c]``.  The target line sum for 0-based values is
+``M = n (n² - 1) / 2``; the cost is the sum of ``|line_sum - M|`` over all
+rows, columns and the two main diagonals, all maintained incrementally under
+swaps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.problem import PermutationProblem
+from repro.exceptions import ModelError
+
+__all__ = ["MagicSquareProblem"]
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+class MagicSquareProblem(PermutationProblem):
+    """Fill an ``n x n`` grid with ``0..n²-1`` so all lines have the same sum."""
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ModelError(f"Magic squares need n >= 3, got {n}")
+        super().__init__(n * n, name="magic-square")
+        self._n = n
+        self._magic = n * (n * n - 1) // 2
+        self._perm = np.arange(n * n, dtype=np.int64)
+        self._row_sums = np.zeros(n, dtype=np.int64)
+        self._col_sums = np.zeros(n, dtype=np.int64)
+        self._diag_sum = 0
+        self._anti_sum = 0
+        self._cost = 0
+        self._rebuild()
+
+    # ------------------------------------------------------------------- state
+    @property
+    def side(self) -> int:
+        """Side length ``n`` of the square (the problem has ``n²`` variables)."""
+        return self._n
+
+    @property
+    def magic_constant(self) -> int:
+        """Target line sum for the 0-based values stored in the configuration."""
+        return self._magic
+
+    def describe(self) -> str:
+        return f"magic-square(n={self._n})"
+
+    def _rebuild(self) -> None:
+        n = self._n
+        grid = self._perm.reshape(n, n)
+        self._row_sums = grid.sum(axis=1)
+        self._col_sums = grid.sum(axis=0)
+        self._diag_sum = int(np.trace(grid))
+        self._anti_sum = int(np.trace(np.fliplr(grid)))
+        self._cost = int(
+            np.abs(self._row_sums - self._magic).sum()
+            + np.abs(self._col_sums - self._magic).sum()
+            + abs(self._diag_sum - self._magic)
+            + abs(self._anti_sum - self._magic)
+        )
+
+    def set_configuration(self, perm: Sequence[int] | np.ndarray) -> None:
+        arr = np.asarray(perm, dtype=np.int64)
+        if arr.shape != (self.size,):
+            raise ModelError(
+                f"expected a configuration of length {self.size}, got shape {arr.shape}"
+            )
+        if not np.array_equal(np.sort(arr), np.arange(self.size)):
+            raise ModelError("configuration is not a permutation of 0..n^2-1")
+        self._perm = arr.copy()
+        self._rebuild()
+
+    def configuration(self) -> np.ndarray:
+        return self._perm.copy()
+
+    def grid(self) -> np.ndarray:
+        """Current square with 1-based values (as conventionally displayed)."""
+        return (self._perm + 1).reshape(self._n, self._n)
+
+    # -------------------------------------------------------------------- cost
+    def cost(self) -> int:
+        return int(self._cost)
+
+    def check_consistency(self) -> None:
+        cached = self._cost
+        self._rebuild()
+        if cached != self._cost:
+            raise AssertionError(f"cached cost {cached} != recomputed {self._cost}")
+
+    def variable_errors(self) -> np.ndarray:
+        """A cell's error is the sum of the deviations of the lines through it."""
+        n = self._n
+        row_err = np.abs(self._row_sums - self._magic)
+        col_err = np.abs(self._col_sums - self._magic)
+        errs = row_err[:, None] + col_err[None, :]
+        diag_err = abs(self._diag_sum - self._magic)
+        anti_err = abs(self._anti_sum - self._magic)
+        idx = np.arange(n)
+        errs[idx, idx] += diag_err
+        errs[idx, n - 1 - idx] += anti_err
+        return errs.reshape(-1).astype(np.int64)
+
+    # ------------------------------------------------------------------- moves
+    def _line_cost(self) -> int:
+        return int(
+            np.abs(self._row_sums - self._magic).sum()
+            + np.abs(self._col_sums - self._magic).sum()
+            + abs(self._diag_sum - self._magic)
+            + abs(self._anti_sum - self._magic)
+        )
+
+    def _shift_cell(self, cell: int, delta: int) -> None:
+        """Add *delta* to the value stored in *cell*'s lines (sums bookkeeping only)."""
+        n = self._n
+        r, c = divmod(cell, n)
+        self._row_sums[r] += delta
+        self._col_sums[c] += delta
+        if r == c:
+            self._diag_sum += delta
+        if c == n - 1 - r:
+            self._anti_sum += delta
+
+    def apply_swap(self, i: int, j: int) -> int:
+        if i != j:
+            vi, vj = int(self._perm[i]), int(self._perm[j])
+            self._shift_cell(i, vj - vi)
+            self._shift_cell(j, vi - vj)
+            self._perm[i], self._perm[j] = vj, vi
+            self._cost = self._line_cost()
+        return int(self._cost)
+
+    def swap_delta(self, i: int, j: int) -> int:
+        if i == j:
+            return 0
+        before = self._cost
+        self.apply_swap(i, j)
+        after = self._cost
+        self.apply_swap(i, j)
+        return after - before
+
+    def swap_deltas(self, i: int) -> np.ndarray:
+        size = self.size
+        deltas = np.empty(size, dtype=np.int64)
+        for j in range(size):
+            deltas[j] = 0 if j == i else self.swap_delta(i, j)
+        deltas[i] = _INT64_MAX
+        return deltas
+
+    def is_magic(self) -> bool:
+        """``True`` iff the current grid is a magic square."""
+        return self._cost == 0

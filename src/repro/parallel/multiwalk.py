@@ -1,0 +1,209 @@
+"""Real parallel independent multi-walk on the local machine.
+
+This is the component a user runs to actually solve hard instances faster:
+``k`` worker *processes* (not threads — the GIL would serialise pure-Python
+search threads) each run the sequential Adaptive Search engine with their own
+seed.  The first worker to find a solution sets a shared event; all workers
+poll that event every ``check_period`` iterations through the engine's
+``stop_check`` hook, mirroring the non-blocking MPI probe of the paper, and
+stop as soon as it is set.
+
+The problem instance is described by a *factory* (a picklable callable
+returning a fresh :class:`~repro.core.problem.PermutationProblem`), because
+the problem object itself is stateful and must be constructed inside each
+worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import AdaptiveSearch
+from repro.core.params import ASParameters
+from repro.core.problem import PermutationProblem
+from repro.core.result import SolveResult
+from repro.exceptions import ParallelExecutionError
+from repro.parallel.seeds import spawned_seeds
+
+__all__ = ["MultiWalkResult", "MultiWalkSolver"]
+
+
+@dataclass
+class MultiWalkResult:
+    """Aggregate outcome of a parallel multi-walk run.
+
+    ``best`` is the winning walk's result (or the best unsolved one);
+    ``results`` holds whatever the workers reported back before termination
+    (the losers report their partial statistics too); ``wall_time`` is the
+    end-to-end time measured by the coordinating process, which is what the
+    speed-up tables use.
+    """
+
+    best: SolveResult
+    results: List[SolveResult]
+    n_workers: int
+    wall_time: float
+    seeds: List[int] = field(default_factory=list)
+
+    @property
+    def solved(self) -> bool:
+        """Whether any walk found a solution."""
+        return self.best.solved
+
+    @property
+    def total_iterations(self) -> int:
+        """Sum of iterations across all reporting walks (total work performed)."""
+        return sum(r.iterations for r in self.results)
+
+
+def _worker(
+    problem_factory: Callable[[], PermutationProblem],
+    params: ASParameters,
+    seed: int,
+    walk_index: int,
+    stop_event,
+    queue,
+    max_time: Optional[float],
+) -> None:
+    """Body of one worker process: run AS until solved, stopped or out of budget."""
+    try:
+        problem = problem_factory()
+        engine = AdaptiveSearch()
+        result = engine.solve(
+            problem,
+            seed=seed,
+            params=params,
+            stop_check=stop_event.is_set,
+            max_time=max_time,
+        )
+        if result.solved:
+            stop_event.set()
+        result.extra["walk_index"] = walk_index
+        queue.put(("ok", walk_index, result.as_dict()))
+    except Exception as exc:  # pragma: no cover - defensive: worker crash path
+        queue.put(("error", walk_index, repr(exc)))
+
+
+class MultiWalkSolver:
+    """Independent multi-walk Adaptive Search using ``multiprocessing``.
+
+    Parameters
+    ----------
+    problem_factory:
+        Picklable zero-argument callable producing a fresh problem instance.
+    params:
+        Engine parameters shared by every walk.
+    n_workers:
+        Number of worker processes (default: the machine's CPU count).
+    seeds:
+        Explicit per-walk seeds; by default independent seeds are spawned from
+        ``seed_root``.
+    seed_root:
+        Root seed used when *seeds* is not given.
+    mp_context:
+        ``multiprocessing`` start method (``"fork"`` by default on POSIX —
+        cheapest; use ``"spawn"`` for portability).
+    """
+
+    def __init__(
+        self,
+        problem_factory: Callable[[], PermutationProblem],
+        params: Optional[ASParameters] = None,
+        *,
+        n_workers: Optional[int] = None,
+        seeds: Optional[Sequence[int]] = None,
+        seed_root: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.problem_factory = problem_factory
+        self.params = params if params is not None else ASParameters()
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        if self.n_workers < 1:
+            raise ParallelExecutionError(f"n_workers must be >= 1, got {self.n_workers}")
+        self._explicit_seeds = list(seeds) if seeds is not None else None
+        if self._explicit_seeds is not None and len(self._explicit_seeds) < self.n_workers:
+            raise ParallelExecutionError(
+                f"{len(self._explicit_seeds)} seeds provided for {self.n_workers} workers"
+            )
+        self.seed_root = seed_root
+        if mp_context is None:
+            mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(mp_context)
+
+    # ------------------------------------------------------------------ public
+    def solve(
+        self,
+        *,
+        max_time: Optional[float] = None,
+        join_timeout: float = 30.0,
+    ) -> MultiWalkResult:
+        """Run the walks and return as soon as every worker has reported.
+
+        ``max_time`` bounds each walk's wall-clock time; ``join_timeout`` is a
+        safety net for collecting worker processes after termination.
+        """
+        seeds = (
+            self._explicit_seeds[: self.n_workers]
+            if self._explicit_seeds is not None
+            else spawned_seeds(self.n_workers, self.seed_root)
+        )
+
+        if self.n_workers == 1:
+            # Degenerate case: run inline (used by tests and the 1-core baselines).
+            start = time.perf_counter()
+            problem = self.problem_factory()
+            result = AdaptiveSearch().solve(
+                problem, seed=seeds[0], params=self.params, max_time=max_time
+            )
+            result.extra["walk_index"] = 0
+            elapsed = time.perf_counter() - start
+            return MultiWalkResult(result, [result], 1, elapsed, list(seeds))
+
+        start = time.perf_counter()
+        stop_event = self._ctx.Event()
+        queue = self._ctx.Queue()
+        workers = []
+        for idx, seed in enumerate(seeds):
+            proc = self._ctx.Process(
+                target=_worker,
+                args=(
+                    self.problem_factory,
+                    self.params,
+                    int(seed),
+                    idx,
+                    stop_event,
+                    queue,
+                    max_time,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            workers.append(proc)
+
+        results: List[SolveResult] = []
+        errors: List[str] = []
+        for _ in range(len(workers)):
+            kind, walk_index, payload = queue.get()
+            if kind == "ok":
+                results.append(SolveResult.from_dict(payload))
+            else:  # pragma: no cover - defensive
+                errors.append(f"walk {walk_index}: {payload}")
+
+        for proc in workers:
+            proc.join(timeout=join_timeout)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        elapsed = time.perf_counter() - start
+
+        if not results:
+            raise ParallelExecutionError(
+                "every worker failed: " + "; ".join(errors) if errors else "no results"
+            )
+        best = SolveResult.best_of(results)
+        return MultiWalkResult(best, results, len(workers), elapsed, list(seeds))

@@ -1,0 +1,35 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep hypothesis fast and deterministic-ish in CI: the default example count
+# is overkill for the small combinatorial inputs used here.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def example_costas_5():
+    """The order-5 Costas array used as the running example in the paper ([3,4,2,1,5])."""
+    return [2, 3, 1, 0, 4]  # 0-based version of the paper's [3, 4, 2, 1, 5]
+
+
+@pytest.fixture
+def small_orders():
+    """Orders small enough for exhaustive cross-checks."""
+    return [3, 4, 5, 6, 7]

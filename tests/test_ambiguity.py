@@ -1,0 +1,93 @@
+"""Tests for the radar ambiguity utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costas.ambiguity import (
+    ambiguity_matrix,
+    coincidence_count,
+    hop_waveform,
+    max_offpeak_coincidences,
+    sidelobe_histogram,
+    waveform_ambiguity,
+)
+from repro.costas.array import is_costas
+from repro.costas.constructions import welch_construction
+
+permutations = st.integers(min_value=2, max_value=9).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+class TestCoincidences:
+    def test_zero_shift_counts_all_marks(self, example_costas_5):
+        assert coincidence_count(example_costas_5, 0, 0) == 5
+
+    def test_large_shift_counts_nothing(self, example_costas_5):
+        assert coincidence_count(example_costas_5, 5, 0) == 0
+        assert coincidence_count(example_costas_5, 0, 5) == 0
+
+    @given(permutations)
+    def test_costas_iff_offpeak_at_most_one(self, perm):
+        assert (max_offpeak_coincidences(perm) <= 1) == is_costas(perm)
+
+    @given(permutations)
+    def test_matrix_matches_pointwise_counts(self, perm):
+        n = len(perm)
+        A = ambiguity_matrix(perm)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            dt = int(rng.integers(-(n - 1), n))
+            df = int(rng.integers(-(n - 1), n))
+            assert A[df + n - 1, dt + n - 1] == coincidence_count(perm, dt, df)
+
+    @given(permutations)
+    def test_matrix_is_symmetric_under_negation(self, perm):
+        # Shifting by (dt, df) and by (-dt, -df) give the same count.
+        A = ambiguity_matrix(perm)
+        assert np.array_equal(A, A[::-1, ::-1])
+
+    def test_total_coincidences_equal_pairs(self, example_costas_5):
+        # Summing the off-peak half of the matrix counts each ordered pair once.
+        n = len(example_costas_5)
+        A = ambiguity_matrix(example_costas_5)
+        assert A.sum() == n * n  # n at the peak + n(n-1) ordered pairs
+
+    def test_sidelobe_histogram_for_costas(self, example_costas_5):
+        hist = sidelobe_histogram(example_costas_5)
+        assert set(hist) <= {0, 1}
+        assert hist.get(1, 0) == 5 * 4  # each ordered pair produces one unit sidelobe
+
+    def test_welch_array_has_thumbtack_ambiguity(self):
+        array = welch_construction(12)
+        assert max_offpeak_coincidences(array.to_array()) == 1
+
+
+class TestWaveform:
+    def test_hop_waveform_shapes(self, example_costas_5):
+        t, x = hop_waveform(example_costas_5, samples_per_chip=8)
+        assert t.shape == x.shape == (5 * 8,)
+        assert np.allclose(np.abs(x), 1.0)
+
+    def test_hop_waveform_validates_samples(self, example_costas_5):
+        with pytest.raises(ValueError):
+            hop_waveform(example_costas_5, samples_per_chip=0)
+
+    def test_waveform_ambiguity_peak_is_normalised_and_central(self, example_costas_5):
+        _, x = hop_waveform(example_costas_5, samples_per_chip=4)
+        A = waveform_ambiguity(x, n_doppler=21, max_doppler=0.5)
+        assert A.shape == (21, 2 * x.size - 1)
+        assert A.max() == pytest.approx(1.0)
+        centre = np.unravel_index(np.argmax(A), A.shape)
+        assert centre[1] == x.size - 1  # zero delay
+        assert abs(centre[0] - 10) <= 1  # zero Doppler bin (middle row)
+
+    def test_waveform_ambiguity_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            waveform_ambiguity(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            waveform_ambiguity(np.array([]))

@@ -1,0 +1,200 @@
+"""Tests for the statistics, speed-up and time-to-target analysis modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.speedup import SpeedupPoint, efficiency, ideal_speedup, speedup_series
+from repro.analysis.stats import best_to_average_ratio, summarize, summarize_results
+from repro.analysis.tables import format_paper_table, format_table
+from repro.analysis.ttt import (
+    ExponentialFit,
+    empirical_cdf,
+    fit_shifted_exponential,
+    ks_distance,
+    min_of_k_expectation,
+    predicted_speedup,
+    sample_min_of_k,
+    time_to_target_curve,
+)
+from repro.core.result import SolveResult
+from repro.exceptions import AnalysisError
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.total == pytest.approx(10.0)
+        assert summary.best_to_average_ratio == pytest.approx(2.5)
+        assert set(summary.as_dict()) == {
+            "count", "mean", "median", "min", "max", "std", "total",
+        }
+
+    def test_summarize_single_value_std_zero(self):
+        assert summarize([3.0]).std == 0.0
+
+    def test_summarize_rejects_bad_input(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+        with pytest.raises(AnalysisError):
+            summarize([1.0, float("nan")])
+
+    def test_summarize_results_filters_unsolved(self):
+        results = [
+            SolveResult(solved=True, configuration=[0, 1], cost=0, wall_time=1.0),
+            SolveResult(solved=False, configuration=[0, 1], cost=3, wall_time=9.0),
+        ]
+        summary = summarize_results(results, metric="wall_time")
+        assert summary.count == 1
+        both = summarize_results(results, metric="wall_time", solved_only=False)
+        assert both.count == 2
+        with pytest.raises(AnalysisError):
+            summarize_results(results, metric="nonexistent")
+        with pytest.raises(AnalysisError):
+            summarize_results([], metric="wall_time")
+
+    def test_best_to_average_ratio_fallback(self):
+        # Minimum time is zero -> fall back to the iteration counts.
+        assert best_to_average_ratio([0.0, 1.0], fallback=[10, 30]) == pytest.approx(2.0)
+        assert best_to_average_ratio([0.0, 1.0]) == float("inf")
+
+
+class TestSpeedup:
+    def test_series_relative_to_smallest_core_count(self):
+        series = speedup_series({32: 8.0, 64: 4.0, 128: 2.0})
+        assert [p.cores for p in series] == [32, 64, 128]
+        assert [p.speedup for p in series] == [1.0, 2.0, 4.0]
+        assert [p.ideal for p in series] == [1.0, 2.0, 4.0]
+        assert all(p.efficiency == pytest.approx(1.0) for p in series)
+
+    def test_explicit_reference(self):
+        series = speedup_series({1: 100.0, 10: 20.0}, reference_cores=1)
+        assert series[1].speedup == pytest.approx(5.0)
+        assert series[1].efficiency == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            speedup_series({})
+        with pytest.raises(AnalysisError):
+            speedup_series({4: 0.0})
+        with pytest.raises(AnalysisError):
+            speedup_series({0: 1.0})
+        with pytest.raises(AnalysisError):
+            speedup_series({4: 1.0}, reference_cores=8)
+
+    def test_ideal_and_efficiency_helpers(self):
+        ideal = ideal_speedup([32, 64, 256])
+        assert ideal == {32: 1.0, 64: 2.0, 256: 8.0}
+        eff = efficiency([SpeedupPoint(cores=64, time=1.0, speedup=1.5, ideal=2.0)])
+        assert eff == {64: 0.75}
+        with pytest.raises(AnalysisError):
+            ideal_speedup([])
+        with pytest.raises(AnalysisError):
+            efficiency([])
+
+
+class TestTimeToTarget:
+    def test_empirical_cdf_monotone(self):
+        xs, ps = empirical_cdf([5.0, 1.0, 3.0])
+        assert list(xs) == [1.0, 3.0, 5.0]
+        assert np.all(np.diff(ps) > 0)
+        assert 0 < ps[0] < ps[-1] < 1
+        with pytest.raises(AnalysisError):
+            empirical_cdf([])
+
+    def test_time_to_target_curve(self):
+        grid, probs = time_to_target_curve([1.0, 2.0, 3.0, 4.0], targets=10)
+        assert grid.shape == probs.shape == (10,)
+        assert probs[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(probs) >= 0)
+        with pytest.raises(AnalysisError):
+            time_to_target_curve([1.0], targets=1)
+
+    def test_fit_recovers_synthetic_exponential(self):
+        rng = np.random.default_rng(0)
+        sample = 5.0 + rng.exponential(20.0, size=4000)
+        fit = fit_shifted_exponential(sample)
+        assert fit.shift == pytest.approx(5.0, abs=1.0)
+        assert fit.scale == pytest.approx(20.0, rel=0.15)
+        assert ks_distance(sample, fit) < 0.05
+
+    def test_fit_validation_and_degenerate_sample(self):
+        with pytest.raises(AnalysisError):
+            fit_shifted_exponential([1.0])
+        with pytest.raises(AnalysisError):
+            fit_shifted_exponential([-1.0, 2.0])
+        fit = fit_shifted_exponential([2.0, 2.0, 2.0])
+        assert fit.scale > 0
+
+    def test_exponential_fit_methods(self):
+        fit = ExponentialFit(shift=2.0, scale=10.0)
+        assert fit.mean == pytest.approx(12.0)
+        assert fit.cdf(2.0) == pytest.approx(0.0)
+        assert fit.cdf(1.0) == pytest.approx(0.0)
+        assert 0 < fit.cdf(12.0) < 1
+        assert fit.quantile(0.0) == pytest.approx(2.0)
+        mid = fit.quantile(0.5)
+        assert fit.cdf(mid) == pytest.approx(0.5)
+        with pytest.raises(AnalysisError):
+            fit.quantile(1.0)
+        half = fit.min_of_k(2)
+        assert half.scale == pytest.approx(5.0)
+        with pytest.raises(AnalysisError):
+            fit.min_of_k(0)
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_predicted_speedup_bounds(self, k):
+        fit = ExponentialFit(shift=1.0, scale=100.0)
+        speedup = predicted_speedup(fit, k)
+        assert 1.0 <= speedup <= k + 1e-9
+        # Saturation ceiling: (shift + scale) / shift.
+        assert speedup <= fit.mean / fit.shift + 1e-9
+
+    def test_predicted_speedup_linear_when_shift_zero(self):
+        fit = ExponentialFit(shift=0.0, scale=50.0)
+        assert predicted_speedup(fit, 64) == pytest.approx(64.0)
+        assert min_of_k_expectation(fit, 64) == pytest.approx(50.0 / 64)
+
+    def test_sample_min_of_k(self):
+        rng = np.random.default_rng(1)
+        pool = rng.exponential(100.0, size=500)
+        mins = sample_min_of_k(pool, 32, 200, rng)
+        assert mins.shape == (200,)
+        assert mins.mean() < pool.mean()
+        with pytest.raises(AnalysisError):
+            sample_min_of_k([], 2, 2)
+        with pytest.raises(AnalysisError):
+            sample_min_of_k(pool, 0, 2)
+
+
+class TestTables:
+    def test_format_table_alignment_and_none(self):
+        text = format_table(
+            ["a", "bb"], [[1, None], [2.5, "x"]], float_format="{:.1f}", title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "-" in lines[2]
+        assert "-" in lines[3]  # None rendered as '-'
+        assert "2.5" in text
+
+    def test_format_paper_table_structure(self):
+        stats = {
+            21: {"32": {"avg": 160.42, "med": 114.06}, "64": {"avg": 81.72}},
+            22: {"32": {"avg": 501.23}},
+        }
+        text = format_paper_table(
+            [21, 22], stats, ["32", "64"], stat_rows=("avg", "med")
+        )
+        assert "21" in text and "22" in text
+        assert "160.42" in text
+        # Missing cells are dashes.
+        assert "-" in text

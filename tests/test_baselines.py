@@ -1,0 +1,139 @@
+"""Tests for the baseline solvers (Dialectic Search, Tabu, restart hill climbing, CP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cp_solver import CPBacktrackingSolver, CPParameters
+from repro.baselines.dialectic import DialecticSearch, DialecticSearchParameters
+from repro.baselines.random_restart import (
+    RandomRestartHillClimbing,
+    RandomRestartParameters,
+)
+from repro.baselines.tabu import TabuSearch, TabuSearchParameters
+from repro.costas.array import is_costas
+from repro.costas.database import KNOWN_COSTAS_COUNTS
+from repro.models import CostasProblem, NQueensProblem
+
+
+class TestDialecticSearch:
+    def test_solves_small_costas(self):
+        result = DialecticSearch().solve(CostasProblem(8), seed=0)
+        assert result.solved
+        assert is_costas(result.configuration)
+        assert result.solver == "dialectic-search"
+        assert result.iterations >= 0
+        assert result.extra["greedy_steps"] >= 0
+
+    def test_solves_nqueens(self):
+        result = DialecticSearch().solve(NQueensProblem(10), seed=1)
+        assert result.solved
+
+    def test_budget_respected(self):
+        params = DialecticSearchParameters(max_iterations=2)
+        result = DialecticSearch(params).solve(CostasProblem(11), seed=0)
+        assert result.iterations <= 2
+        if not result.solved:
+            assert result.stop_reason == "max_iterations"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DialecticSearchParameters(perturbation_strength=0)
+        with pytest.raises(ValueError):
+            DialecticSearchParameters(max_no_improvement=0)
+        with pytest.raises(ValueError):
+            DialecticSearchParameters(max_iterations=0)
+
+    def test_external_stop(self):
+        result = DialecticSearch(
+            DialecticSearchParameters(check_period=1)
+        ).solve(CostasProblem(10), seed=0, stop_check=lambda: True)
+        assert result.stop_reason in ("external_stop", "solved")
+
+    def test_deterministic_given_seed(self):
+        a = DialecticSearch().solve(CostasProblem(8), seed=5)
+        b = DialecticSearch().solve(CostasProblem(8), seed=5)
+        assert a.iterations == b.iterations
+        assert list(a.configuration) == list(b.configuration)
+
+
+class TestTabuSearch:
+    def test_solves_small_costas(self):
+        result = TabuSearch().solve(CostasProblem(7), seed=0)
+        assert result.solved
+        assert is_costas(result.configuration)
+        assert result.solver == "tabu-search"
+
+    def test_solves_queens(self):
+        result = TabuSearch().solve(NQueensProblem(8), seed=0)
+        assert result.solved
+
+    def test_budget_respected(self):
+        params = TabuSearchParameters(max_iterations=3)
+        result = TabuSearch(params).solve(CostasProblem(10), seed=0)
+        assert result.iterations <= 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TabuSearchParameters(tenure=0)
+        with pytest.raises(ValueError):
+            TabuSearchParameters(restart_after=0)
+        with pytest.raises(ValueError):
+            TabuSearchParameters(max_iterations=-1)
+
+
+class TestRandomRestart:
+    def test_solves_small_costas(self):
+        result = RandomRestartHillClimbing().solve(CostasProblem(7), seed=0)
+        assert result.solved
+        assert is_costas(result.configuration)
+
+    def test_budget_respected(self):
+        params = RandomRestartParameters(max_steps=5)
+        result = RandomRestartHillClimbing(params).solve(CostasProblem(10), seed=0)
+        assert result.iterations <= 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RandomRestartParameters(max_sideways=-1)
+        with pytest.raises(ValueError):
+            RandomRestartParameters(max_steps=0)
+
+
+class TestCPSolver:
+    def test_finds_a_costas_array(self):
+        result = CPBacktrackingSolver().solve(8, seed=0)
+        assert result.solved
+        assert is_costas(result.configuration)
+        assert result.solver == "cp-backtracking"
+        assert result.extra["nodes"] > 0
+
+    def test_lex_and_dom_orders_agree_on_satisfiability(self):
+        for order_name in ("lex", "dom"):
+            result = CPBacktrackingSolver(CPParameters(variable_order=order_name)).solve(7)
+            assert result.solved
+
+    @pytest.mark.parametrize("order", [4, 5, 6, 7])
+    def test_count_solutions_matches_published_counts(self, order):
+        solver = CPBacktrackingSolver()
+        assert solver.count_solutions(order) == KNOWN_COSTAS_COUNTS[order]
+
+    def test_node_budget_stops_search(self):
+        result = CPBacktrackingSolver(CPParameters(max_nodes=3)).solve(12)
+        assert not result.solved
+        assert result.stop_reason == "max_iterations"
+
+    def test_random_value_order_still_correct(self):
+        result = CPBacktrackingSolver(
+            CPParameters(random_value_order=True)
+        ).solve(8, seed=11)
+        assert result.solved
+        assert is_costas(result.configuration)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CPParameters(variable_order="weird")
+        with pytest.raises(ValueError):
+            CPParameters(max_nodes=0)
+        with pytest.raises(ValueError):
+            CPParameters(max_time=0)

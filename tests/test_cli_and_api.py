@@ -1,0 +1,110 @@
+"""Tests for the command-line interface and the top-level convenience API."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+from repro.costas.array import is_costas
+from repro.costas.database import KNOWN_COSTAS_COUNTS
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_each_command(self):
+        parser = build_parser()
+        assert parser.parse_args(["solve", "10"]).order == 10
+        assert parser.parse_args(["parallel", "10", "--workers", "2"]).workers == 2
+        assert parser.parse_args(["construct", "12", "--method", "welch"]).method == "welch"
+        assert parser.parse_args(["enumerate", "6", "--classes"]).classes
+        args = parser.parse_args(["experiment", "table1", "--scale", "smoke"])
+        assert args.identifier == "table1" and args.scale == "smoke"
+        assert parser.parse_args(["list-experiments"]).command == "list-experiments"
+
+
+class TestCommands:
+    def test_solve_command(self, capsys):
+        code = main(["solve", "9", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "permutation (1-based)" in out
+        assert "solved" in out
+
+    def test_solve_quiet_outputs_only_permutation(self, capsys):
+        code = main(["solve", "8", "--seed", "1", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        values = json.loads(out.replace("'", '"'))
+        assert sorted(values) == list(range(1, 9))
+
+    def test_solve_basic_model(self, capsys):
+        assert main(["solve", "8", "--seed", "2", "--basic"]) == 0
+
+    def test_construct_command(self, capsys):
+        assert main(["construct", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "permutation (1-based)" in out
+
+    def test_construct_failure_exit_code(self, capsys):
+        assert main(["construct", "32"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_enumerate_command(self, capsys):
+        assert main(["enumerate", "6", "--classes"]) == 0
+        out = capsys.readouterr().out
+        assert f"{KNOWN_COSTAS_COUNTS[6]} Costas arrays" in out
+        assert "matches enumeration" in out
+        assert "equivalence classes" in out
+
+    def test_enumerate_print(self, capsys):
+        assert main(["enumerate", "4", "--print"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[") >= KNOWN_COSTAS_COUNTS[4]
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "figure4" in out
+
+    def test_experiment_command_json(self, capsys):
+        assert main(["experiment", "table1", "--scale", "smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table1"
+        assert payload["rows"]
+
+    def test_parallel_command(self, capsys):
+        assert main(["parallel", "9", "--workers", "1", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "walks" in out
+
+
+class TestConvenienceApi:
+    def test_solve_costas(self):
+        result = repro.solve_costas(10, seed=0)
+        assert result.solved
+        array = result.as_costas_array()
+        assert array.order == 10
+        assert is_costas(array.to_array())
+
+    def test_solve_costas_model_options(self):
+        result = repro.solve_costas(8, seed=0, err_weight="constant", use_chang=False)
+        assert result.solved
+
+    def test_as_costas_array_requires_solution(self):
+        from repro.core import ASParameters
+
+        result = repro.solve_costas(
+            12, seed=0, params=ASParameters.for_costas(12, max_iterations=1)
+        )
+        if not result.solved:
+            with pytest.raises(ValueError):
+                result.as_costas_array()
+
+    def test_version_string(self):
+        assert repro.__version__

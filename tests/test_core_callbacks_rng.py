@@ -1,0 +1,118 @@
+"""Tests for engine callbacks and RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.callbacks import CallbackList, CostTraceRecorder, EventCounter
+from repro.core.rng import derive_seed, ensure_generator, spawn_generators
+
+
+class TestCostTraceRecorder:
+    def test_records_every_iteration(self):
+        trace = CostTraceRecorder()
+        for it in range(1, 6):
+            trace.on_iteration(it, 10 - it)
+        assert trace.iterations == [1, 2, 3, 4, 5]
+        assert trace.costs == [9, 8, 7, 6, 5]
+        assert len(trace) == 5
+
+    def test_subsampling(self):
+        trace = CostTraceRecorder(every=2)
+        for it in range(1, 7):
+            trace.on_iteration(it, it)
+        assert trace.iterations == [2, 4, 6]
+
+    def test_rejects_bad_every(self):
+        with pytest.raises(ValueError):
+            CostTraceRecorder(every=0)
+
+    def test_ignores_events(self):
+        trace = CostTraceRecorder()
+        trace.on_event("reset", 1, 5)
+        assert len(trace) == 0
+
+
+class TestEventCounter:
+    def test_counts_by_name(self):
+        counter = EventCounter()
+        counter.on_event("reset", 1, 5)
+        counter.on_event("reset", 2, 6)
+        counter.on_event("solution", 3, 0)
+        assert counter["reset"] == 2
+        assert counter["solution"] == 1
+        assert counter["restart"] == 0
+        counter.on_iteration(4, 1)  # no effect
+
+    def test_unknown_event_names_are_tracked(self):
+        counter = EventCounter()
+        counter.on_event("bespoke", 1, 1)
+        assert counter["bespoke"] == 1
+
+
+class TestCallbackList:
+    def test_broadcasts_to_all(self):
+        a, b = EventCounter(), EventCounter()
+        callbacks = CallbackList([a])
+        callbacks.add(b)
+        callbacks.on_event("reset", 1, 2)
+        callbacks.on_iteration(1, 2)
+        assert len(callbacks) == 2
+        assert a["reset"] == b["reset"] == 1
+
+    def test_tolerates_partial_implementations(self):
+        class OnlyIteration:
+            def __init__(self):
+                self.count = 0
+
+            def on_iteration(self, iteration, cost):
+                self.count += 1
+
+        cb = OnlyIteration()
+        callbacks = CallbackList([cb])
+        callbacks.on_event("reset", 1, 2)  # must not raise
+        callbacks.on_iteration(1, 2)
+        assert cb.count == 1
+
+
+class TestRngHelpers:
+    def test_ensure_generator_accepts_various_inputs(self):
+        gen = np.random.default_rng(0)
+        assert ensure_generator(gen) is gen
+        assert isinstance(ensure_generator(5), np.random.Generator)
+        assert isinstance(ensure_generator(None), np.random.Generator)
+        assert isinstance(
+            ensure_generator(np.random.SeedSequence(3)), np.random.Generator
+        )
+
+    def test_ensure_generator_deterministic_for_ints(self):
+        a = ensure_generator(9).integers(0, 1000, 5)
+        b = ensure_generator(9).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_generators_independent_and_deterministic(self):
+        gens_a = spawn_generators(3, 11)
+        gens_b = spawn_generators(3, 11)
+        draws_a = [g.integers(0, 10**9) for g in gens_a]
+        draws_b = [g.integers(0, 10**9) for g in gens_b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == 3
+
+    def test_spawn_generators_from_generator(self):
+        gens = spawn_generators(2, np.random.default_rng(0))
+        assert len(gens) == 2
+
+    def test_spawn_generators_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_generators(-1)
+
+    def test_derive_seed_deterministic_and_distinct(self):
+        seeds = [derive_seed(123, i) for i in range(10)]
+        assert seeds == [derive_seed(123, i) for i in range(10)]
+        assert len(set(seeds)) == 10
+        assert all(0 <= s < 2**63 for s in seeds)
+
+    def test_derive_seed_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            derive_seed(0, -1)

@@ -1,0 +1,80 @@
+"""Tests for ASParameters validation and presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ASParameters
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        params = ASParameters()
+        assert params.tabu_tenure >= 1
+        assert 0 <= params.plateau_probability <= 1
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("tabu_tenure", 0),
+            ("reset_limit", 0),
+            ("reset_percentage", 0.0),
+            ("reset_percentage", 1.5),
+            ("plateau_probability", -0.1),
+            ("plateau_probability", 1.1),
+            ("local_min_accept_probability", -0.2),
+            ("local_min_accept_probability", 2.0),
+            ("restart_limit", 0),
+            ("max_restarts", -1),
+            ("max_iterations", 0),
+            ("check_period", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ASParameters(**{field: value})
+
+    def test_frozen(self):
+        params = ASParameters()
+        with pytest.raises(Exception):
+            params.tabu_tenure = 10  # type: ignore[misc]
+
+    def test_with_updates_revalidates(self):
+        params = ASParameters()
+        updated = params.with_updates(plateau_probability=0.5)
+        assert updated.plateau_probability == 0.5
+        assert params.plateau_probability != 0.5 or params is not updated
+        with pytest.raises(ValueError):
+            params.with_updates(plateau_probability=3.0)
+
+
+class TestPresets:
+    def test_for_costas_defaults(self):
+        params = ASParameters.for_costas(16)
+        assert params.reset_limit == 1
+        assert params.reset_percentage == pytest.approx(0.05)
+        assert params.plateau_probability == pytest.approx(0.9)
+        assert params.restart_limit is not None and params.restart_limit > 0
+        assert not params.clear_tabu_on_reset
+
+    def test_for_costas_restart_grows_with_order(self):
+        assert (
+            ASParameters.for_costas(16).restart_limit
+            > ASParameters.for_costas(12).restart_limit
+        )
+
+    def test_for_costas_overrides(self):
+        params = ASParameters.for_costas(10, plateau_probability=0.5, max_iterations=100)
+        assert params.plateau_probability == 0.5
+        assert params.max_iterations == 100
+
+    def test_for_costas_rejects_tiny_orders(self):
+        with pytest.raises(ValueError):
+            ASParameters.for_costas(2)
+
+    def test_for_problem_size(self):
+        params = ASParameters.for_problem_size(100)
+        assert params.tabu_tenure == 10
+        assert params.reset_limit == 10
+        with pytest.raises(ValueError):
+            ASParameters.for_problem_size(1)

@@ -1,0 +1,102 @@
+"""Tests for the PermutationProblem interface and the functional adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import FunctionalPermutationProblem, PermutationProblem
+from repro.exceptions import ModelError
+
+
+def count_adjacent_equal_parity(perm: np.ndarray) -> int:
+    """Toy cost: number of adjacent entries with the same parity."""
+    return int(np.sum((perm[1:] % 2) == (perm[:-1] % 2)))
+
+
+@pytest.fixture
+def toy_problem():
+    return FunctionalPermutationProblem(6, count_adjacent_equal_parity, name="parity")
+
+
+class TestFunctionalProblem:
+    def test_size_and_name(self, toy_problem):
+        assert toy_problem.size == 6
+        assert toy_problem.name == "parity"
+        assert "parity" in toy_problem.describe()
+
+    def test_initialise_returns_permutation(self, toy_problem, rng):
+        config = toy_problem.initialise(rng)
+        assert sorted(config) == list(range(6))
+        assert np.array_equal(config, toy_problem.configuration())
+
+    def test_set_configuration_validates(self, toy_problem):
+        with pytest.raises(ModelError):
+            toy_problem.set_configuration([0, 1, 2])
+        with pytest.raises(ModelError):
+            toy_problem.set_configuration([0, 0, 1, 2, 3, 4])
+
+    def test_cost_matches_function(self, toy_problem):
+        toy_problem.set_configuration([0, 2, 4, 1, 3, 5])
+        assert toy_problem.cost() == count_adjacent_equal_parity(
+            np.array([0, 2, 4, 1, 3, 5])
+        )
+
+    def test_swap_delta_matches_apply(self, toy_problem, rng):
+        toy_problem.initialise(rng)
+        before = toy_problem.cost()
+        delta = toy_problem.swap_delta(0, 3)
+        after = toy_problem.apply_swap(0, 3)
+        assert after - before == delta
+
+    def test_swap_delta_is_side_effect_free(self, toy_problem, rng):
+        toy_problem.initialise(rng)
+        config = toy_problem.configuration()
+        toy_problem.swap_delta(1, 4)
+        assert np.array_equal(config, toy_problem.configuration())
+
+    def test_default_swap_deltas_matches_loop(self, toy_problem, rng):
+        toy_problem.initialise(rng)
+        deltas = toy_problem.swap_deltas(2)
+        for j in range(toy_problem.size):
+            if j == 2:
+                assert deltas[j] == np.iinfo(np.int64).max
+            else:
+                assert deltas[j] == toy_problem.swap_delta(2, j)
+
+    def test_default_variable_errors_nonnegative(self, toy_problem, rng):
+        toy_problem.initialise(rng)
+        errors = toy_problem.variable_errors()
+        assert errors.shape == (6,)
+        assert np.all(errors >= 0)
+
+    def test_explicit_variable_errors_validated(self):
+        problem = FunctionalPermutationProblem(
+            4,
+            count_adjacent_equal_parity,
+            variable_errors_fn=lambda perm: np.zeros(3),
+        )
+        problem.set_configuration([0, 1, 2, 3])
+        with pytest.raises(ModelError):
+            problem.variable_errors()
+
+    def test_is_solution(self):
+        problem = FunctionalPermutationProblem(4, lambda perm: 0)
+        problem.set_configuration([0, 1, 2, 3])
+        assert problem.is_solution()
+
+    def test_custom_reset_default_is_none(self, toy_problem, rng):
+        assert toy_problem.custom_reset(rng) is None
+
+    def test_check_consistency_default_is_noop(self, toy_problem):
+        toy_problem.check_consistency()
+
+
+class TestBaseClassValidation:
+    def test_minimum_size(self):
+        with pytest.raises(ModelError):
+            FunctionalPermutationProblem(1, lambda perm: 0)
+
+    def test_abstract_base_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            PermutationProblem(5)  # type: ignore[abstract]

@@ -1,0 +1,70 @@
+"""Tests for SolveResult and RunLimits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import RunLimits, SolveResult
+
+
+def make_result(**overrides) -> SolveResult:
+    defaults = dict(
+        solved=True,
+        configuration=np.array([2, 0, 1]),
+        cost=0,
+        iterations=10,
+        local_minima=3,
+        wall_time=0.5,
+        seed=42,
+        problem="costas(n=3)",
+    )
+    defaults.update(overrides)
+    return SolveResult(**defaults)
+
+
+class TestSolveResult:
+    def test_configuration_coerced_to_array(self):
+        result = SolveResult(solved=True, configuration=[1, 0], cost=0)
+        assert isinstance(result.configuration, np.ndarray)
+        assert result.configuration.dtype == np.int64
+
+    def test_iterations_per_second(self):
+        result = make_result(iterations=100, wall_time=2.0)
+        assert result.iterations_per_second == pytest.approx(50.0)
+        assert make_result(wall_time=0.0).iterations_per_second == 0.0
+
+    def test_dict_roundtrip(self):
+        original = make_result(extra={"walk_index": 3})
+        copy = SolveResult.from_dict(original.as_dict())
+        assert copy.solved == original.solved
+        assert list(copy.configuration) == list(original.configuration)
+        assert copy.extra == original.extra
+        assert copy.seed == original.seed
+        assert copy.problem == original.problem
+
+    def test_summary_mentions_status_and_problem(self):
+        assert "solved" in make_result().summary()
+        failed = make_result(solved=False, cost=5, stop_reason="max_iterations")
+        assert "max_iterations" in failed.summary()
+
+    def test_best_of_prefers_solved_then_cost_then_iterations(self):
+        solved_slow = make_result(iterations=100)
+        solved_fast = make_result(iterations=10)
+        unsolved = make_result(solved=False, cost=7)
+        assert SolveResult.best_of([unsolved, solved_slow, solved_fast]) is solved_fast
+        assert SolveResult.best_of([unsolved]) is unsolved
+        cheaper = make_result(solved=False, cost=2)
+        assert SolveResult.best_of([unsolved, cheaper]) is cheaper
+
+    def test_best_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            SolveResult.best_of([])
+
+
+class TestRunLimits:
+    def test_defaults(self):
+        limits = RunLimits()
+        assert limits.max_iterations is None
+        assert limits.max_time is None
+        assert limits.external_stop is False

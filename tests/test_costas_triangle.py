@@ -1,0 +1,175 @@
+"""Tests for the incrementally-maintained DifferenceTriangle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costas.array import is_costas, violation_count
+from repro.costas.triangle import (
+    DifferenceTriangle,
+    err_weight_constant,
+    err_weight_quadratic,
+)
+
+perm_and_swaps = st.integers(min_value=3, max_value=10).flatmap(
+    lambda n: st.tuples(
+        st.permutations(list(range(n))),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+    )
+)
+
+
+class TestWeights:
+    def test_constant_weights(self):
+        assert list(err_weight_constant(5)) == [1, 1, 1, 1, 1]
+
+    def test_quadratic_weights(self):
+        w = err_weight_quadratic(5)
+        assert list(w) == [25, 24, 21, 16, 9]
+
+
+class TestConstruction:
+    def test_cost_zero_for_costas(self, example_costas_5):
+        tri = DifferenceTriangle(example_costas_5)
+        assert tri.cost == 0
+        assert tri.is_solution()
+        assert tri.duplicate_count == 0
+
+    def test_cost_counts_duplicates_unweighted(self):
+        perm = list(range(6))
+        tri = DifferenceTriangle(perm)
+        assert tri.cost == violation_count(perm)
+
+    def test_cost_weighted(self):
+        perm = list(range(5))
+        tri = DifferenceTriangle(perm, err_weight=err_weight_quadratic)
+        expected = 0
+        n = 5
+        for d in range(1, n):
+            expected += (n * n - d * d) * ((n - d) - 1)
+        assert tri.cost == expected
+
+    def test_max_distance_restriction(self):
+        perm = list(range(8))
+        full = DifferenceTriangle(perm)
+        half = DifferenceTriangle(perm, max_distance=(8 - 1) // 2)
+        assert half.cost <= full.cost
+        assert half.max_distance == 3
+
+    def test_invalid_max_distance(self):
+        with pytest.raises(ValueError):
+            DifferenceTriangle([0, 1, 2], max_distance=5)
+
+    def test_invalid_weights_length(self):
+        with pytest.raises(ValueError):
+            DifferenceTriangle([0, 1, 2, 3], err_weight=[1, 2])
+
+    def test_row_values(self, example_costas_5):
+        tri = DifferenceTriangle(example_costas_5)
+        assert list(tri.row_values(1)) == [1, -2, -1, 4]
+        with pytest.raises(ValueError):
+            tri.row_values(0)
+
+    def test_row_duplicates_bounds(self):
+        tri = DifferenceTriangle([0, 1, 2, 3], max_distance=2)
+        with pytest.raises(ValueError):
+            tri.row_duplicates(3)
+        assert tri.row_duplicates(1) == 2
+
+
+class TestIncrementalUpdates:
+    @given(perm_and_swaps)
+    def test_swap_matches_recompute(self, data):
+        perm, swaps = data
+        tri = DifferenceTriangle(perm, err_weight=err_weight_quadratic)
+        for i, j in swaps:
+            tri.swap(i, j)
+            incremental = tri.cost
+            assert incremental == tri.recompute()
+
+    @given(perm_and_swaps)
+    def test_swap_delta_is_side_effect_free(self, data):
+        perm, swaps = data
+        tri = DifferenceTriangle(perm)
+        for i, j in swaps:
+            before_perm = list(tri.permutation)
+            before_cost = tri.cost
+            delta = tri.swap_delta(i, j)
+            assert list(tri.permutation) == before_perm
+            assert tri.cost == before_cost
+            # Applying the swap must realise exactly that delta.
+            tri.swap(i, j)
+            assert tri.cost == before_cost + delta
+            tri.swap(i, j)
+
+    def test_swap_same_index_is_noop(self):
+        tri = DifferenceTriangle([0, 2, 1, 3])
+        cost = tri.cost
+        assert tri.swap(2, 2) == cost
+
+    def test_swap_out_of_range(self):
+        tri = DifferenceTriangle([0, 2, 1, 3])
+        with pytest.raises(ValueError):
+            tri.swap(0, 7)
+
+    def test_cost_if_swapped(self):
+        tri = DifferenceTriangle([0, 1, 2, 3, 4])
+        expected = tri.cost + tri.swap_delta(0, 4)
+        assert tri.cost_if_swapped(0, 4) == expected
+
+    def test_set_permutation_rebuilds(self, example_costas_5):
+        tri = DifferenceTriangle([0, 1, 2, 3, 4])
+        assert tri.cost > 0
+        tri.set_permutation(example_costas_5)
+        assert tri.cost == 0
+
+    def test_set_permutation_wrong_size(self):
+        tri = DifferenceTriangle([0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            tri.set_permutation([0, 1, 2])
+
+
+class TestVariableErrors:
+    @given(st.integers(min_value=4, max_value=9).flatmap(lambda n: st.permutations(list(range(n)))))
+    def test_errors_zero_iff_solution(self, perm):
+        tri = DifferenceTriangle(perm)
+        errors = tri.variable_errors()
+        if tri.cost == 0:
+            assert not errors.any()
+        else:
+            assert errors.sum() > 0
+
+    def test_error_assigned_to_both_columns(self):
+        # Row 1 of [0,1,2] has differences [1, 1]: the second cell (columns 1 and 2)
+        # repeats the first, so columns 1 and 2 get the error, column 0 does not.
+        tri = DifferenceTriangle([0, 1, 2], max_distance=1)
+        errors = tri.variable_errors()
+        assert list(errors) == [0, 1, 1]
+
+    def test_max_error_variable_respects_tabu(self, rng):
+        tri = DifferenceTriangle([0, 1, 2], max_distance=1)
+        tabu = np.array([False, True, False])
+        assert tri.max_error_variable(rng, tabu) == 2
+
+    def test_max_error_variable_ignores_all_tabu(self, rng):
+        tri = DifferenceTriangle([0, 1, 2], max_distance=1)
+        tabu = np.array([True, True, True])
+        assert tri.max_error_variable(rng, tabu) in (1, 2)
+
+
+class TestChangEquivalence:
+    @given(st.integers(min_value=4, max_value=9).flatmap(lambda n: st.permutations(list(range(n)))))
+    def test_half_triangle_zero_cost_iff_costas(self, perm):
+        n = len(perm)
+        tri = DifferenceTriangle(perm, max_distance=(n - 1) // 2)
+        assert (tri.cost == 0) == is_costas(perm)

@@ -1,0 +1,114 @@
+"""Tests for exhaustive Costas array enumeration and the published-count database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costas.array import is_costas
+from repro.costas.database import (
+    KNOWN_COSTAS_COUNTS,
+    KNOWN_EQUIVALENCE_CLASS_COUNTS,
+    known_class_count,
+    known_count,
+    solution_density,
+)
+from repro.costas.enumeration import (
+    EnumerationStats,
+    count_costas_arrays,
+    count_equivalence_classes,
+    enumerate_costas_arrays,
+    equivalence_classes,
+)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5, 6, 7])
+    def test_counts_match_published_values(self, order):
+        assert count_costas_arrays(order) == KNOWN_COSTAS_COUNTS[order]
+
+    def test_count_order_8_matches(self):
+        assert count_costas_arrays(8) == KNOWN_COSTAS_COUNTS[8]
+
+    def test_every_enumerated_array_is_costas(self):
+        for array in enumerate_costas_arrays(6):
+            assert is_costas(array.to_array())
+
+    def test_enumeration_is_lexicographic_and_duplicate_free(self):
+        arrays = [a.permutation for a in enumerate_costas_arrays(6)]
+        assert arrays == sorted(arrays)
+        assert len(set(arrays)) == len(arrays)
+
+    def test_limit_stops_early(self):
+        stats = EnumerationStats()
+        arrays = list(enumerate_costas_arrays(7, limit=5, stats=stats))
+        assert len(arrays) == 5
+        assert stats.solutions >= 5
+
+    def test_prefix_restricts_enumeration(self):
+        all_arrays = list(enumerate_costas_arrays(6))
+        with_prefix = list(enumerate_costas_arrays(6, prefix=[0]))
+        expected = [a for a in all_arrays if a.permutation[0] == 0]
+        assert [a.permutation for a in with_prefix] == [a.permutation for a in expected]
+
+    def test_invalid_prefix_yields_nothing(self):
+        assert list(enumerate_costas_arrays(6, prefix=[0, 0])) == []
+        assert list(enumerate_costas_arrays(6, prefix=[7])) == []
+
+    def test_conflicting_prefix_yields_nothing(self):
+        # [0, 1, 2] repeats the difference +1 at distance 1: no completion exists.
+        assert list(enumerate_costas_arrays(6, prefix=[0, 1, 2])) == []
+
+    def test_stats_are_populated(self):
+        stats = EnumerationStats()
+        count_costas_arrays(5, stats=stats)
+        assert stats.solutions == KNOWN_COSTAS_COUNTS[5]
+        assert stats.nodes > stats.solutions
+        assert stats.prunings > 0
+        assert set(stats.as_dict()) == {"nodes", "prunings", "solutions"}
+
+    def test_rejects_nonpositive_order(self):
+        with pytest.raises(ValueError):
+            list(enumerate_costas_arrays(0))
+
+
+class TestEquivalenceClasses:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5, 6])
+    def test_class_counts_match_published_values(self, order):
+        assert count_equivalence_classes(order) == KNOWN_EQUIVALENCE_CLASS_COUNTS[order]
+
+    def test_classes_partition_the_arrays(self):
+        arrays = list(enumerate_costas_arrays(5))
+        classes = equivalence_classes(arrays)
+        assert sum(len(members) for members in classes.values()) == len(arrays)
+        # Every member canonicalises to its class key.
+        for key, members in classes.items():
+            for member in members:
+                assert tuple(member.canonical().permutation) == key
+
+
+class TestDatabase:
+    def test_known_count_lookup(self):
+        assert known_count(29) == 164
+        assert known_count(64) is None
+
+    def test_known_class_count_lookup(self):
+        assert known_class_count(29) == 23
+        assert known_class_count(64) is None
+
+    def test_paper_quoted_values(self):
+        # Section II: 164 Costas arrays of order 29, 23 up to symmetry.
+        assert KNOWN_COSTAS_COUNTS[29] == 164
+        assert KNOWN_EQUIVALENCE_CLASS_COUNTS[29] == 23
+
+    def test_solution_density_decreases_sharply(self):
+        d10 = solution_density(10)
+        d20 = solution_density(20)
+        assert d10 is not None and d20 is not None
+        assert d20 < d10 / 1e6
+        assert solution_density(50) is None
+
+    def test_class_orbit_bound(self):
+        # Each equivalence class has at most 8 members, so counts are consistent.
+        for order, total in KNOWN_COSTAS_COUNTS.items():
+            classes = KNOWN_EQUIVALENCE_CLASS_COUNTS[order]
+            assert classes <= total <= 8 * classes

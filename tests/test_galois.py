@@ -1,0 +1,160 @@
+"""Tests for the finite-field substrate used by the algebraic constructions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costas.galois import (
+    GaloisField,
+    factorize,
+    is_prime,
+    is_prime_power,
+    prime_factors,
+    primitive_root,
+)
+
+
+class TestIntegerHelpers:
+    def test_is_prime_small_values(self):
+        primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31]
+        for n in range(2, 32):
+            assert is_prime(n) == (n in primes)
+
+    def test_is_prime_edge_cases(self):
+        assert not is_prime(0)
+        assert not is_prime(1)
+        assert not is_prime(-7)
+
+    @given(st.integers(min_value=2, max_value=5000))
+    def test_factorize_reconstructs(self, n):
+        factors = factorize(n)
+        product = 1
+        for p, e in factors.items():
+            assert is_prime(p)
+            product *= p**e
+        assert product == n
+
+    def test_factorize_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    def test_prime_factors_sorted_unique(self):
+        assert prime_factors(360) == [2, 3, 5]
+
+    def test_is_prime_power(self):
+        assert is_prime_power(8) == (True, 2, 3)
+        assert is_prime_power(27) == (True, 3, 3)
+        assert is_prime_power(11) == (True, 11, 1)
+        assert is_prime_power(12)[0] is False
+        assert is_prime_power(1)[0] is False
+
+    def test_primitive_root_generates_group(self):
+        for p in (3, 5, 7, 11, 13, 17, 19, 23):
+            g = primitive_root(p)
+            powers = {pow(g, k, p) for k in range(1, p)}
+            assert powers == set(range(1, p))
+
+    def test_primitive_root_requires_prime(self):
+        with pytest.raises(ValueError):
+            primitive_root(8)
+
+
+@pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27])
+class TestGaloisFieldAxioms:
+    def test_field_size_and_elements(self, q):
+        field = GaloisField.of_order(q)
+        assert field.q == q
+        assert len(list(field.elements())) == q
+
+    def test_additive_structure(self, q):
+        field = GaloisField.of_order(q)
+        for a in field.elements():
+            assert field.add(a, 0) == a
+            assert field.add(a, field.neg(a)) == 0
+            assert field.sub(a, a) == 0
+
+    def test_multiplicative_structure(self, q):
+        field = GaloisField.of_order(q)
+        for a in field.elements():
+            assert field.mul(a, 1) == a
+            assert field.mul(a, 0) == 0
+            if a != 0:
+                assert field.mul(a, field.inverse(a)) == 1
+
+    def test_generator_is_primitive(self, q):
+        field = GaloisField.of_order(q)
+        if q > 2:
+            assert field.is_primitive(field.generator)
+            assert field.element_order(field.generator) == q - 1
+
+    def test_exp_log_roundtrip(self, q):
+        field = GaloisField.of_order(q)
+        for e in range(q - 1):
+            a = field.exp(e)
+            assert field.log(a) == e
+
+    def test_powers_cover_nonzero_elements(self, q):
+        field = GaloisField.of_order(q)
+        powers = {field.exp(e) for e in range(q - 1)}
+        assert powers == set(range(1, q))
+
+
+class TestGaloisFieldProperties:
+    @given(
+        st.sampled_from([5, 7, 8, 9, 11, 16]),
+        st.data(),
+    )
+    def test_distributivity(self, q, data):
+        field = GaloisField.of_order(q)
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        c = data.draw(st.integers(min_value=0, max_value=q - 1))
+        assert field.mul(a, field.add(b, c)) == field.add(field.mul(a, b), field.mul(a, c))
+
+    @given(st.sampled_from([5, 7, 9, 16]), st.data())
+    def test_mul_commutative_associative(self, q, data):
+        field = GaloisField.of_order(q)
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        c = data.draw(st.integers(min_value=0, max_value=q - 1))
+        assert field.mul(a, b) == field.mul(b, a)
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    def test_power_negative_exponent(self):
+        field = GaloisField.of_order(7)
+        assert field.power(3, -1) == field.inverse(3)
+
+    def test_zero_division_errors(self):
+        field = GaloisField.of_order(5)
+        with pytest.raises(ZeroDivisionError):
+            field.inverse(0)
+        with pytest.raises(ZeroDivisionError):
+            field.log(0)
+        with pytest.raises(ZeroDivisionError):
+            field.element_order(0)
+
+    def test_out_of_range_element(self):
+        field = GaloisField.of_order(5)
+        with pytest.raises(ValueError):
+            field.add(5, 0)
+
+    def test_invalid_characteristic(self):
+        with pytest.raises(ValueError):
+            GaloisField(4)
+        with pytest.raises(ValueError):
+            GaloisField.of_order(12)
+
+    def test_primitive_elements_count(self):
+        # GF(q) has euler_phi(q-1) primitive elements; for q = 9 phi(8) = 4.
+        field = GaloisField.of_order(9)
+        assert len(field.primitive_elements()) == 4
+
+    def test_log_with_alternate_base(self):
+        field = GaloisField.of_order(11)
+        primitives = field.primitive_elements()
+        base = primitives[-1]
+        for a in range(1, 11):
+            e = field.log(a, base)
+            assert field.power(base, e) == a

@@ -1,0 +1,131 @@
+"""Tests for the All-Interval Series and Magic Square models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ASParameters, solve
+from repro.exceptions import ModelError
+from repro.models.all_interval import AllIntervalProblem
+from repro.models.magic_square import MagicSquareProblem
+
+perm_strategy = st.integers(min_value=3, max_value=10).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+def all_interval_brute_cost(perm) -> int:
+    diffs = [abs(perm[i + 1] - perm[i]) for i in range(len(perm) - 1)]
+    return len(diffs) - len(set(diffs))
+
+
+class TestAllInterval:
+    def test_requires_minimum_size(self):
+        with pytest.raises(ModelError):
+            AllIntervalProblem(2)
+
+    @given(perm_strategy)
+    def test_cost_matches_brute_force(self, perm):
+        problem = AllIntervalProblem(len(perm))
+        problem.set_configuration(perm)
+        assert problem.cost() == all_interval_brute_cost(list(perm))
+
+    def test_known_solution(self):
+        # 0, n-1, 1, n-2, ... is a classic all-interval series.
+        n = 8
+        zigzag = []
+        lo, hi = 0, n - 1
+        for k in range(n):
+            zigzag.append(lo if k % 2 == 0 else hi)
+            if k % 2 == 0:
+                lo += 1
+            else:
+                hi -= 1
+        problem = AllIntervalProblem(n)
+        problem.set_configuration(zigzag)
+        assert problem.cost() == 0
+        assert sorted(problem.intervals()) == list(range(1, n))
+
+    @given(perm_strategy, st.data())
+    def test_incremental_swap_consistency(self, perm, data):
+        problem = AllIntervalProblem(len(perm))
+        problem.set_configuration(perm)
+        i = data.draw(st.integers(min_value=0, max_value=len(perm) - 1))
+        j = data.draw(st.integers(min_value=0, max_value=len(perm) - 1))
+        before = problem.cost()
+        delta = problem.swap_delta(i, j)
+        after = problem.apply_swap(i, j)
+        assert after == before + delta
+        problem.check_consistency()
+
+    @given(perm_strategy)
+    def test_variable_errors_sign(self, perm):
+        problem = AllIntervalProblem(len(perm))
+        problem.set_configuration(perm)
+        errors = problem.variable_errors()
+        assert (errors.sum() == 0) == (problem.cost() == 0)
+
+    def test_engine_solves(self):
+        result = solve(
+            AllIntervalProblem(11), seed=3, params=ASParameters.for_problem_size(11)
+        )
+        assert result.solved
+
+
+class TestMagicSquare:
+    def test_requires_minimum_size(self):
+        with pytest.raises(ModelError):
+            MagicSquareProblem(2)
+
+    def test_magic_constant_and_grid(self):
+        problem = MagicSquareProblem(3)
+        assert problem.side == 3
+        assert problem.magic_constant == 3 * (9 - 1) // 2  # 0-based values
+        assert problem.grid().shape == (3, 3)
+
+    def test_known_magic_square_has_zero_cost(self):
+        # The Lo Shu square (1-based values), converted to 0-based cell values.
+        lo_shu = np.array([[2, 7, 6], [9, 5, 1], [4, 3, 8]]) - 1
+        problem = MagicSquareProblem(3)
+        problem.set_configuration(lo_shu.reshape(-1))
+        assert problem.cost() == 0
+        assert problem.is_magic()
+
+    def test_cost_positive_for_sorted_layout(self):
+        problem = MagicSquareProblem(3)
+        problem.set_configuration(list(range(9)))
+        assert problem.cost() > 0
+        assert not problem.is_magic()
+
+    @given(st.permutations(list(range(16))), st.data())
+    def test_incremental_swap_consistency(self, perm, data):
+        problem = MagicSquareProblem(4)
+        problem.set_configuration(perm)
+        i = data.draw(st.integers(min_value=0, max_value=15))
+        j = data.draw(st.integers(min_value=0, max_value=15))
+        before = problem.cost()
+        delta = problem.swap_delta(i, j)
+        after = problem.apply_swap(i, j)
+        assert after == before + delta
+        problem.check_consistency()
+
+    def test_variable_errors_shape_and_sign(self):
+        problem = MagicSquareProblem(4)
+        problem.set_configuration(list(range(16)))
+        errors = problem.variable_errors()
+        assert errors.shape == (16,)
+        assert errors.sum() > 0
+
+    def test_engine_solves_small_square(self):
+        result = solve(
+            MagicSquareProblem(3),
+            seed=5,
+            params=ASParameters.for_problem_size(9, plateau_probability=0.95),
+        )
+        assert result.solved
+        problem = MagicSquareProblem(3)
+        problem.set_configuration(result.configuration)
+        assert problem.is_magic()

@@ -1,0 +1,100 @@
+"""Tests for the N-Queens Adaptive Search model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ASParameters, solve
+from repro.exceptions import ModelError
+from repro.models.queens import NQueensProblem
+
+perm_strategy = st.integers(min_value=4, max_value=12).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+def brute_force_cost(perm) -> int:
+    """Number of 'extra' queens per diagonal (reference implementation)."""
+    n = len(perm)
+    up = {}
+    down = {}
+    for i, v in enumerate(perm):
+        up[i + v] = up.get(i + v, 0) + 1
+        down[i - v] = down.get(i - v, 0) + 1
+    return sum(c - 1 for c in up.values() if c > 1) + sum(
+        c - 1 for c in down.values() if c > 1
+    )
+
+
+class TestCost:
+    def test_requires_minimum_size(self):
+        with pytest.raises(ModelError):
+            NQueensProblem(3)
+
+    @given(perm_strategy)
+    def test_cost_matches_brute_force(self, perm):
+        problem = NQueensProblem(len(perm))
+        problem.set_configuration(perm)
+        assert problem.cost() == brute_force_cost(perm)
+
+    def test_known_solution_has_zero_cost(self):
+        # A classic 6-queens solution.
+        solution = [1, 3, 5, 0, 2, 4]
+        problem = NQueensProblem(6)
+        problem.set_configuration(solution)
+        assert problem.cost() == 0
+        assert problem.conflicts() == 0
+
+    def test_identity_is_maximally_conflicting_on_one_diagonal(self):
+        n = 6
+        problem = NQueensProblem(n)
+        problem.set_configuration(list(range(n)))
+        assert problem.cost() == n - 1
+
+    @given(perm_strategy)
+    def test_variable_errors_count_attacks(self, perm):
+        problem = NQueensProblem(len(perm))
+        problem.set_configuration(perm)
+        errors = problem.variable_errors()
+        assert np.all(errors >= 0)
+        assert (errors.sum() == 0) == (problem.cost() == 0)
+
+
+class TestMoves:
+    @given(perm_strategy, st.data())
+    def test_incremental_swap_consistency(self, perm, data):
+        problem = NQueensProblem(len(perm))
+        problem.set_configuration(perm)
+        i = data.draw(st.integers(min_value=0, max_value=len(perm) - 1))
+        j = data.draw(st.integers(min_value=0, max_value=len(perm) - 1))
+        before = problem.cost()
+        delta = problem.swap_delta(i, j)
+        after = problem.apply_swap(i, j)
+        assert after == before + delta
+        problem.check_consistency()
+        assert problem.cost() == brute_force_cost(problem.configuration())
+
+    def test_swap_deltas_sentinel(self):
+        problem = NQueensProblem(6)
+        problem.set_configuration([1, 3, 5, 0, 2, 4])
+        deltas = problem.swap_deltas(2)
+        assert deltas[2] == np.iinfo(np.int64).max
+
+
+class TestSolving:
+    @pytest.mark.parametrize("n", [8, 20, 50])
+    def test_engine_solves(self, n):
+        result = solve(
+            NQueensProblem(n), seed=0, params=ASParameters.for_problem_size(n)
+        )
+        assert result.solved
+        board = NQueensProblem(n)
+        board.set_configuration(result.configuration)
+        assert board.cost() == 0
+        grid = board.board()
+        assert grid.sum() == n
+        assert np.all(grid.sum(axis=0) == 1)
+        assert np.all(grid.sum(axis=1) == 1)

@@ -1,0 +1,133 @@
+"""Tests for machine models and the virtual-cluster performance simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ASParameters
+from repro.exceptions import AnalysisError, ParallelExecutionError
+from repro.models import CostasProblem
+from repro.parallel.cluster import (
+    HA8000,
+    HELIOS,
+    JUGENE,
+    LOCAL_HOST,
+    SUNO,
+    MachineModel,
+    VirtualCluster,
+    WalkSample,
+)
+
+
+def make_pool(rng: np.random.Generator, size: int = 200) -> list[WalkSample]:
+    iterations = rng.exponential(500.0, size).astype(int) + 5
+    return [WalkSample(iterations=int(it), solved=True) for it in iterations]
+
+
+class TestMachineModels:
+    def test_paper_machines_have_expected_relative_speeds(self):
+        assert JUGENE.speed_factor < HELIOS.speed_factor <= HA8000.speed_factor < 1.01
+        assert SUNO.speed_factor > JUGENE.speed_factor
+        assert LOCAL_HOST.speed_factor == 1.0
+
+    def test_scaled_factory(self):
+        scaled = JUGENE.scaled(reference_clock_ghz=1.7)
+        assert scaled.speed_factor == pytest.approx(0.85 / 1.7)
+        with pytest.raises(ValueError):
+            JUGENE.scaled(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineModel("bad", cores_per_node=1, clock_ghz=1.0, speed_factor=0.0)
+        with pytest.raises(ValueError):
+            MachineModel("bad", cores_per_node=0, clock_ghz=1.0)
+
+
+class TestVirtualCluster:
+    def test_seconds_conversion_uses_speed_factor(self):
+        fast = VirtualCluster(LOCAL_HOST, host_iteration_rate=1000.0)
+        slow = VirtualCluster(JUGENE, host_iteration_rate=1000.0)
+        assert fast.seconds(1000) == pytest.approx(1.0)
+        assert slow.seconds(1000) == pytest.approx(1.0 / JUGENE.speed_factor)
+
+    def test_validation(self):
+        with pytest.raises(ParallelExecutionError):
+            VirtualCluster(HA8000, host_iteration_rate=0.0)
+        with pytest.raises(ParallelExecutionError):
+            VirtualCluster(HA8000, host_iteration_rate=10.0, check_period=0)
+
+    def test_core_limits_enforced(self, rng):
+        cluster = VirtualCluster(HELIOS, host_iteration_rate=1000.0)
+        pool = make_pool(rng)
+        with pytest.raises(ParallelExecutionError):
+            cluster.simulate_run(pool, HELIOS.max_cores + 1, rng)
+        with pytest.raises(ParallelExecutionError):
+            cluster.simulate_run(pool, 0, rng)
+
+    def test_bootstrap_run_statistics(self, rng):
+        cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0, check_period=10)
+        pool = make_pool(rng)
+        estimate = cluster.simulate_run(pool, 64, rng)
+        assert estimate.solved
+        assert estimate.cores == 64
+        assert estimate.machine == "HA8000"
+        assert estimate.winning_iterations >= 1
+        assert estimate.total_iterations >= estimate.winning_iterations
+        # Total work is bounded by cores x (winner + one polling period).
+        assert estimate.total_iterations <= 64 * (estimate.winning_iterations + 10)
+
+    def test_more_cores_reduce_expected_time(self, rng):
+        cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0)
+        pool = make_pool(rng)
+        few = cluster.simulate_many(pool, 4, 200, rng)
+        many = cluster.simulate_many(pool, 64, 200, rng)
+        assert np.mean([e.wall_time for e in many]) < np.mean(
+            [e.wall_time for e in few]
+        )
+
+    def test_bootstrap_requires_solved_samples(self, rng):
+        cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0)
+        with pytest.raises(AnalysisError):
+            cluster.simulate_run([], 8, rng)
+        unsolved = [WalkSample(iterations=10, solved=False)]
+        with pytest.raises(AnalysisError):
+            cluster.simulate_run(unsolved, 8, rng)
+
+    def test_exponential_sampling(self, rng):
+        cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0)
+        estimate = cluster.simulate_run(
+            [], 128, rng, sampling="exponential", exponential_fit=(10.0, 800.0)
+        )
+        assert estimate.solved
+        with pytest.raises(AnalysisError):
+            cluster.simulate_run([], 8, rng, sampling="exponential")
+        with pytest.raises(AnalysisError):
+            cluster.simulate_run(
+                [], 8, rng, sampling="exponential", exponential_fit=(1.0, 0.0)
+            )
+
+    def test_unknown_sampling_rejected(self, rng):
+        cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0)
+        with pytest.raises(AnalysisError):
+            cluster.simulate_run(make_pool(rng), 8, rng, sampling="magic")
+
+    def test_simulate_many_validation(self, rng):
+        cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0)
+        with pytest.raises(ParallelExecutionError):
+            cluster.simulate_many(make_pool(rng), 8, 0, rng)
+
+    def test_direct_run_on_real_problem(self):
+        cluster = VirtualCluster(LOCAL_HOST, host_iteration_rate=1000.0)
+        estimate = cluster.direct_run(
+            lambda: CostasProblem(9),
+            ASParameters.for_costas(9),
+            cores=3,
+            seeds=[1, 2, 3],
+        )
+        assert estimate.solved
+        assert estimate.cores == 3
+        with pytest.raises(ParallelExecutionError):
+            cluster.direct_run(
+                lambda: CostasProblem(9), ASParameters.for_costas(9), 3, seeds=[1]
+            )

@@ -1,0 +1,114 @@
+"""Tests for the simulated message-passing layer and multi-walk termination protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ASParameters
+from repro.costas.array import is_costas
+from repro.exceptions import ParallelExecutionError
+from repro.models import CostasProblem
+from repro.parallel.mpi_sim import SimulatedCommunicator, SimulatedMultiWalk
+
+
+class TestSimulatedCommunicator:
+    def test_send_probe_recv_roundtrip(self):
+        comm = SimulatedCommunicator(3)
+        assert not comm.iprobe(1)
+        comm.isend(0, 1, "hello", {"x": 1})
+        assert comm.iprobe(1)
+        assert comm.iprobe(1, tag="hello")
+        assert not comm.iprobe(1, tag="other")
+        message = comm.recv(1)
+        assert message.source == 0 and message.payload == {"x": 1}
+        assert comm.recv(1) is None
+
+    def test_recv_by_tag_skips_other_messages(self):
+        comm = SimulatedCommunicator(2)
+        comm.isend(0, 1, "a")
+        comm.isend(0, 1, "b")
+        got = comm.recv(1, tag="b")
+        assert got.tag == "b"
+        assert comm.pending(1) == 1
+
+    def test_broadcast_others(self):
+        comm = SimulatedCommunicator(4)
+        comm.broadcast_others(2, "done")
+        assert comm.sent_messages == 3
+        for rank in range(4):
+            assert comm.iprobe(rank) == (rank != 2)
+
+    def test_rank_validation(self):
+        comm = SimulatedCommunicator(2)
+        with pytest.raises(ParallelExecutionError):
+            comm.isend(0, 5, "x")
+        with pytest.raises(ParallelExecutionError):
+            comm.iprobe(-1)
+        with pytest.raises(ParallelExecutionError):
+            SimulatedCommunicator(0)
+
+
+class TestSimulatedMultiWalk:
+    def _multiwalk(self, order=9, **param_overrides):
+        params = ASParameters.for_costas(order, **param_overrides)
+        return SimulatedMultiWalk(lambda: CostasProblem(order), params)
+
+    def test_runs_all_ranks_and_identifies_winner(self):
+        sim = self._multiwalk()
+        outcomes, comm = sim.run(seeds=[1, 2, 3, 4])
+        assert len(outcomes) == 4
+        winner = SimulatedMultiWalk.winner(outcomes)
+        assert winner is not None
+        assert winner.result.solved
+        assert is_costas(winner.result.configuration)
+        # The winner is the rank with the fewest iterations among the solved ones.
+        solved_iters = [o.result.iterations for o in outcomes if o.result.solved]
+        assert winner.result.iterations == min(solved_iters)
+        # Termination broadcast: size - 1 messages.
+        assert comm.sent_messages == 3
+
+    def test_losers_stop_at_next_poll(self):
+        sim = self._multiwalk(order=9, check_period=16)
+        outcomes, _ = sim.run(seeds=[5, 6, 7])
+        winner = SimulatedMultiWalk.winner(outcomes)
+        poll = 16
+        bound = ((winner.result.iterations // poll) + 1) * poll
+        for outcome in outcomes:
+            if not outcome.winner:
+                assert outcome.iterations_executed <= max(bound, outcome.result.iterations)
+                assert outcome.iterations_executed <= bound or outcome.result.solved
+
+    def test_parallel_iterations_is_critical_path(self):
+        sim = self._multiwalk()
+        outcomes, _ = sim.run(seeds=[8, 9])
+        assert SimulatedMultiWalk.parallel_iterations(outcomes) == max(
+            o.iterations_executed for o in outcomes
+        )
+
+    def test_no_solution_case(self):
+        params = ASParameters.for_costas(12, max_iterations=3)
+        sim = SimulatedMultiWalk(lambda: CostasProblem(12), params)
+        outcomes, comm = sim.run(seeds=[1, 2])
+        assert SimulatedMultiWalk.winner(outcomes) is None
+        assert comm.sent_messages == 0
+
+    def test_requires_at_least_one_seed(self):
+        sim = self._multiwalk()
+        with pytest.raises(ParallelExecutionError):
+            sim.run(seeds=[])
+        with pytest.raises(ParallelExecutionError):
+            SimulatedMultiWalk.parallel_iterations([])
+
+    def test_max_iterations_override(self):
+        sim = self._multiwalk(order=12)
+        outcomes, _ = sim.run(seeds=[1, 2], max_iterations=5)
+        assert all(o.result.iterations <= 5 for o in outcomes)
+
+    def test_more_walks_never_slower_in_iterations(self):
+        # Adding walks can only decrease (or keep equal) the winning iteration count.
+        sim = self._multiwalk(order=10)
+        few, _ = sim.run(seeds=[1, 2])
+        many, _ = sim.run(seeds=[1, 2, 3, 4, 5, 6])
+        few_best = min(o.result.iterations for o in few if o.result.solved)
+        many_best = min(o.result.iterations for o in many if o.result.solved)
+        assert many_best <= few_best

@@ -1,0 +1,70 @@
+"""Tests for the multiprocessing-based independent multi-walk solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ASParameters
+from repro.costas.array import is_costas
+from repro.exceptions import ParallelExecutionError
+from repro.experiments.base import costas_factory
+from repro.parallel.multiwalk import MultiWalkSolver
+
+
+class TestSingleWorker:
+    def test_inline_path_solves(self):
+        solver = MultiWalkSolver(
+            costas_factory(9), ASParameters.for_costas(9), n_workers=1, seed_root=1
+        )
+        outcome = solver.solve()
+        assert outcome.solved
+        assert outcome.n_workers == 1
+        assert len(outcome.results) == 1
+        assert is_costas(outcome.best.configuration)
+        assert outcome.total_iterations == outcome.best.iterations
+        assert len(outcome.seeds) == 1
+
+    def test_explicit_seeds_are_used(self):
+        solver = MultiWalkSolver(
+            costas_factory(9),
+            ASParameters.for_costas(9),
+            n_workers=1,
+            seeds=[1234],
+        )
+        outcome = solver.solve()
+        assert outcome.seeds == [1234]
+        assert outcome.best.seed == 1234
+
+
+class TestValidation:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ParallelExecutionError):
+            MultiWalkSolver(costas_factory(9), n_workers=0)
+
+    def test_rejects_too_few_seeds(self):
+        with pytest.raises(ParallelExecutionError):
+            MultiWalkSolver(costas_factory(9), n_workers=4, seeds=[1, 2])
+
+
+class TestMultiProcess:
+    def test_two_workers_solve_and_terminate_early(self):
+        solver = MultiWalkSolver(
+            costas_factory(10),
+            ASParameters.for_costas(10, check_period=8),
+            n_workers=2,
+            seed_root=7,
+        )
+        outcome = solver.solve(max_time=120.0)
+        assert outcome.solved
+        assert outcome.n_workers == 2
+        assert len(outcome.results) == 2
+        assert is_costas(outcome.best.configuration)
+        # Every worker reports, and at least one of them actually solved.
+        assert any(r.solved for r in outcome.results)
+        assert all("walk_index" in r.extra for r in outcome.results)
+
+    def test_parallel_helper_function(self):
+        from repro import parallel_solve_costas
+
+        outcome = parallel_solve_costas(9, n_workers=2, seed_root=3, max_time=120.0)
+        assert outcome.solved

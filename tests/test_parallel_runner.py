@@ -1,0 +1,113 @@
+"""Tests for the experiment runner and run-pool persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import RunSummary
+from repro.exceptions import AnalysisError, ParallelExecutionError
+from repro.experiments.base import costas_factory, costas_params
+from repro.parallel.cluster import HA8000, JUGENE, WalkSample
+from repro.parallel.runner import ExperimentRunner, RunPool
+
+
+@pytest.fixture(scope="module")
+def small_pool() -> RunPool:
+    runner = ExperimentRunner()
+    return runner.collect_pool(costas_factory(9), costas_params(9), 20, seed_root=1)
+
+
+class TestRunPool:
+    def test_collect_pool_contents(self, small_pool):
+        assert len(small_pool) == 20
+        assert small_pool.host_iteration_rate > 0
+        assert all(s.solved for s in small_pool.solved_samples)
+        assert len(small_pool.solved_samples) == 20  # order 9 always solves
+        assert "costas" in small_pool.problem
+
+    def test_iteration_and_time_arrays(self, small_pool):
+        iters = small_pool.iterations()
+        times = small_pool.wall_times()
+        assert iters.shape == times.shape == (20,)
+        assert np.all(iters >= 0)
+        assert np.all(times >= 0)
+
+    def test_summary(self, small_pool):
+        summary = small_pool.summary("iterations")
+        assert isinstance(summary, RunSummary)
+        assert summary.count == 20
+        with pytest.raises(AnalysisError):
+            small_pool.summary("bogus")
+
+    def test_json_roundtrip(self, tmp_path, small_pool):
+        path = tmp_path / "pool.json"
+        small_pool.save(path)
+        loaded = RunPool.load(path)
+        assert loaded.problem == small_pool.problem
+        assert len(loaded) == len(small_pool)
+        assert loaded.host_iteration_rate == pytest.approx(
+            small_pool.host_iteration_rate
+        )
+        assert [s.iterations for s in loaded.samples] == [
+            s.iterations for s in small_pool.samples
+        ]
+
+
+class TestExperimentRunner:
+    def test_pool_is_deterministic_given_seed_root(self):
+        runner = ExperimentRunner()
+        a = runner.collect_pool(
+            costas_factory(8), costas_params(8), 10, seed_root=5, use_cache=False
+        )
+        b = runner.collect_pool(
+            costas_factory(8), costas_params(8), 10, seed_root=5, use_cache=False
+        )
+        assert [s.iterations for s in a.samples] == [s.iterations for s in b.samples]
+
+    def test_memory_cache_returns_same_object(self):
+        runner = ExperimentRunner()
+        a = runner.collect_pool(costas_factory(8), costas_params(8), 5)
+        b = runner.collect_pool(costas_factory(8), costas_params(8), 5)
+        assert a is b
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        a = runner.collect_pool(costas_factory(8), costas_params(8), 5)
+        assert list(tmp_path.glob("pool-*.json"))
+        # A fresh runner with the same cache dir loads from disk.
+        other = ExperimentRunner(cache_dir=tmp_path)
+        b = other.collect_pool(costas_factory(8), costas_params(8), 5)
+        assert [s.iterations for s in a.samples] == [s.iterations for s in b.samples]
+
+    def test_collect_pool_validation(self):
+        runner = ExperimentRunner()
+        with pytest.raises(ParallelExecutionError):
+            runner.collect_pool(costas_factory(8), costas_params(8), 0)
+
+    def test_parallel_time_summary_improves_with_cores(self, small_pool):
+        runner = ExperimentRunner()
+        few = runner.parallel_time_summary(small_pool, HA8000, 2, 50, rng=1)
+        many = runner.parallel_time_summary(small_pool, HA8000, 16, 50, rng=1)
+        assert many.mean < few.mean
+
+    def test_sequential_summary_scales_with_machine_speed(self, small_pool):
+        runner = ExperimentRunner()
+        host = runner.sequential_time_summary(small_pool, HA8000)
+        slow = runner.sequential_time_summary(small_pool, JUGENE)
+        assert slow.mean > host.mean
+
+    def test_exponential_sampling_mode(self, small_pool):
+        runner = ExperimentRunner()
+        summary = runner.parallel_time_summary(
+            small_pool, HA8000, 32, 20, rng=0, sampling="exponential"
+        )
+        assert summary.mean > 0
+
+    def test_empty_pool_rejected(self):
+        runner = ExperimentRunner()
+        empty = RunPool(problem="costas(n=9)", samples=[], host_iteration_rate=100.0)
+        with pytest.raises(AnalysisError):
+            runner.parallel_time_summary(empty, HA8000, 8, 10)
+        with pytest.raises(AnalysisError):
+            runner.sequential_time_summary(empty, HA8000)

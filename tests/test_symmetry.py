@@ -1,0 +1,95 @@
+"""Tests for the dihedral symmetry operations on Costas arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costas.array import is_costas, is_permutation
+from repro.costas.symmetry import (
+    SYMMETRY_NAMES,
+    all_symmetries,
+    canonical_form,
+    complement,
+    orbit,
+    reverse,
+    rotate90,
+    transpose,
+)
+
+permutations = st.integers(min_value=2, max_value=9).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+class TestGenerators:
+    @given(permutations)
+    def test_reverse_is_an_involution(self, perm):
+        assert list(reverse(reverse(perm))) == list(perm)
+
+    @given(permutations)
+    def test_complement_is_an_involution(self, perm):
+        assert list(complement(complement(perm))) == list(perm)
+
+    @given(permutations)
+    def test_transpose_is_an_involution(self, perm):
+        assert list(transpose(transpose(perm))) == list(perm)
+
+    @given(permutations)
+    def test_rotate90_has_order_four(self, perm):
+        rotated = perm
+        for _ in range(4):
+            rotated = rotate90(rotated)
+        assert list(rotated) == list(perm)
+
+    @given(permutations)
+    def test_all_operations_return_permutations(self, perm):
+        for op in (reverse, complement, transpose, rotate90):
+            assert is_permutation(op(perm))
+
+    def test_transpose_is_inverse_permutation(self):
+        perm = [2, 0, 3, 1]
+        inv = transpose(perm)
+        for i, v in enumerate(perm):
+            assert inv[v] == i
+
+
+class TestOrbit:
+    def test_all_symmetries_has_eight_entries(self, example_costas_5):
+        images = all_symmetries(example_costas_5)
+        assert len(images) == len(SYMMETRY_NAMES) == 8
+
+    @given(permutations)
+    def test_orbit_size_divides_eight(self, perm):
+        size = len(orbit(perm))
+        assert size in (1, 2, 4, 8)
+
+    @given(permutations)
+    def test_orbit_closed_under_generators(self, perm):
+        members = set(orbit(perm))
+        for member in list(members):
+            for op in (reverse, complement, transpose):
+                assert tuple(int(v) for v in op(np.array(member))) in members
+
+    def test_symmetries_preserve_costas_property(self, example_costas_5):
+        for image in all_symmetries(example_costas_5):
+            assert is_costas(image)
+
+    @given(permutations)
+    def test_symmetries_preserve_costas_property_generally(self, perm):
+        original = is_costas(perm)
+        for image in all_symmetries(perm):
+            assert is_costas(image) == original
+
+
+class TestCanonicalForm:
+    @given(permutations)
+    def test_canonical_is_invariant_on_the_orbit(self, perm):
+        canonical = tuple(canonical_form(perm))
+        for image in all_symmetries(perm):
+            assert tuple(canonical_form(image)) == canonical
+
+    @given(permutations)
+    def test_canonical_is_minimal_member(self, perm):
+        assert tuple(canonical_form(perm)) == min(orbit(perm))

@@ -33,6 +33,12 @@ from repro.core.callbacks import (
     EventCounter,
     IterationCallback,
 )
+from repro.core.incremental import (
+    dup_count,
+    dup_delta_from_net,
+    grouped_dup_delta,
+    net_occurrence_change,
+)
 from repro.core.rng import ensure_generator, spawn_generators
 
 __all__ = [
@@ -49,4 +55,8 @@ __all__ = [
     "EventCounter",
     "ensure_generator",
     "spawn_generators",
+    "dup_count",
+    "dup_delta_from_net",
+    "grouped_dup_delta",
+    "net_occurrence_change",
 ]

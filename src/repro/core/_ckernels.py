@@ -1,0 +1,118 @@
+"""Optional C acceleration for the incremental evaluation subsystem.
+
+``_kernels.c`` (same directory) holds dependency-free scalar kernels for the
+Costas hot paths — swap scoring, swap application, error projection, table
+rebuilds and reset-candidate scoring.  This module compiles it on first use
+with the system C compiler (plain ``cc -O3 -shared -fPIC``; no Python headers
+or build system involved) into a content-addressed cache under
+``$XDG_CACHE_HOME/repro-ckernels`` and exposes it through :mod:`ctypes`.
+
+The kernels are an *acceleration*, never a requirement: every entry point has
+a bit-exact NumPy twin in :mod:`repro.models.costas`, and :func:`load`
+degrades to ``None`` — silently selecting the NumPy path — when no compiler
+is available, compilation fails, or ``REPRO_NO_CKERNELS`` is set (the
+equivalence test-suite uses that switch to cover both paths).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["load", "available"]
+
+_SOURCE = Path(__file__).with_name("_kernels.c")
+
+_i64 = ctypes.c_int64
+_p64 = ctypes.c_void_p  # int64 array base addresses (numpy .ctypes.data)
+
+#: argtypes/restype per exported kernel.
+_SIGNATURES = {
+    "costas_swap_deltas": (
+        [_p64, _p64, _p64, _i64, _i64, _i64, _i64, _p64, _i64, _p64],
+        None,
+    ),
+    "costas_swap_delta": (
+        [_p64, _p64, _p64, _i64, _i64, _i64, _i64, _p64, _i64, _i64],
+        _i64,
+    ),
+    "costas_apply": (
+        [_p64, _p64, _p64, _i64, _i64, _i64, _i64, _p64, _i64, _i64],
+        _i64,
+    ),
+    "costas_rebuild": (
+        [_p64, _p64, _p64, _i64, _i64, _i64, _i64, _i64, _p64],
+        _i64,
+    ),
+    "costas_errors": ([_p64, _i64, _i64, _p64, _p64, _i64, _p64], None),
+    "costas_batch_costs": (
+        [_p64, _i64, _i64, _i64, _i64, _p64, _p64, _i64, _p64],
+        None,
+    ),
+}
+
+_lib: Optional[ctypes.CDLL] = None
+_loaded = False
+
+
+def _build() -> Optional[ctypes.CDLL]:
+    source = _SOURCE.read_bytes()
+    tag = hashlib.sha256(source).hexdigest()[:16]
+    cache_root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    cache_dir = Path(cache_root) / "repro-ckernels"
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    shared_object = cache_dir / f"kernels-{tag}.so"
+    if not shared_object.exists():
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+        os.close(fd)
+        try:
+            compiler = os.environ.get("CC", "cc")
+            subprocess.run(
+                [compiler, "-O3", "-shared", "-fPIC", "-o", tmp, str(_SOURCE)],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp, shared_object)  # atomic: racing processes agree
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    lib = ctypes.CDLL(str(shared_object))
+    for name, (argtypes, restype) in _SIGNATURES.items():
+        fn = getattr(lib, name)
+        fn.argtypes = argtypes
+        fn.restype = restype
+    return lib
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The compiled kernel library, or ``None`` when unavailable.
+
+    The first call compiles (or reuses the cached build of) ``_kernels.c``;
+    the outcome — library handle or ``None`` after any failure — is memoised
+    for the life of the process.
+    """
+    global _lib, _loaded
+    if _loaded:
+        return _lib
+    _loaded = True
+    if os.environ.get("REPRO_NO_CKERNELS"):
+        _lib = None
+        return None
+    try:
+        _lib = _build()
+    except Exception:  # no compiler, read-only FS, unexpected toolchain...
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """Whether the C kernels can be (or have been) loaded."""
+    return load() is not None

@@ -1,0 +1,207 @@
+/* Scalar hot-path kernels for the incremental Costas evaluation engine.
+ *
+ * Compiled on demand by repro/core/_ckernels.py (plain `cc -O3 -shared
+ * -fPIC`, no Python headers) and driven through ctypes; every function
+ * mirrors, bit for bit, a NumPy implementation in repro/models/costas.py
+ * that remains the fallback when no C toolchain is available.  The
+ * equivalence test-suite exercises both paths against the full-recompute
+ * reference model.
+ *
+ * Shared data layout (all arrays are C-contiguous int64, see DESIGN.md):
+ *   p[n]            current permutation
+ *   rows[(D+1)*n]   difference triangle, rows[d*n + k] = p[k+d] - p[k] + off
+ *                   for k < n-d; off-triangle cells hold a sentinel
+ *   cnt[(D+1)*Wx]   occurrence counts per distance d and shifted value v
+ *   wd[D]           ERR(d) weights for d = 1..D
+ */
+
+#include <stdint.h>
+
+typedef int64_t i64;
+
+/* Exact cost delta of swapping columns i and j, read from the count tables.
+ *
+ * Per distance d the swap rewrites at most four triangle cells (i-d, i,
+ * j-d, j; when |i-j| == d one cell spans both columns and is visited once).
+ * Cells are processed sequentially — remove the old value, add the new one —
+ * with a local adjustment list so colliding values within one swap see each
+ * other's changes without touching the shared tables. */
+static i64 delta_one(const i64 *p, const i64 *rows, const i64 *cnt,
+                     i64 n, i64 D, i64 Wx, i64 off, const i64 *wd,
+                     i64 i, i64 j)
+{
+    i64 delta = 0;
+    i64 a = p[i], b = p[j];
+    for (i64 d = 1; d <= D; d++) {
+        const i64 *cn = cnt + d * Wx;
+        const i64 *rw = rows + d * n;
+        i64 w = wd[d - 1];
+        i64 cells[4];
+        int nc = 0;
+        i64 k = i - d;
+        if (k >= 0 && k != j) cells[nc++] = k;
+        k = j - d;
+        if (k >= 0 && k != i) cells[nc++] = k;
+        if (i + d < n) cells[nc++] = i;
+        if (j + d < n) cells[nc++] = j;
+
+        i64 lv[8], la[8]; /* local value adjustments within this distance */
+        int nl = 0;
+        for (int c = 0; c < nc; c++) {
+            i64 kk = cells[c];
+            i64 u = rw[kk]; /* current value */
+            i64 x0 = p[kk], x1 = p[kk + d];
+            if (kk == i) x0 = b; else if (kk == j) x0 = a;
+            if (kk + d == i) x1 = b; else if (kk + d == j) x1 = a;
+            i64 v = x1 - x0 + off; /* value after the swap */
+            if (u == v) continue;
+
+            i64 adj = 0;
+            int t, found = 0;
+            for (t = 0; t < nl; t++)
+                if (lv[t] == u) { adj = la[t]; break; }
+            if (cn[u] + adj >= 2) delta -= w;
+            for (t = 0; t < nl; t++)
+                if (lv[t] == u) { la[t] -= 1; found = 1; break; }
+            if (!found) { lv[nl] = u; la[nl] = -1; nl++; }
+
+            adj = 0;
+            found = 0;
+            for (t = 0; t < nl; t++)
+                if (lv[t] == v) { adj = la[t]; break; }
+            if (cn[v] + adj >= 1) delta += w;
+            for (t = 0; t < nl; t++)
+                if (lv[t] == v) { la[t] += 1; found = 1; break; }
+            if (!found) { lv[nl] = v; la[nl] = 1; nl++; }
+        }
+    }
+    return delta;
+}
+
+/* deltas[j] = cost delta of swapping i with j (deltas[i] is left 0; the
+ * caller installs its sentinel). */
+void costas_swap_deltas(const i64 *p, const i64 *rows, const i64 *cnt,
+                        i64 n, i64 D, i64 Wx, i64 off, const i64 *wd,
+                        i64 i, i64 *deltas)
+{
+    for (i64 j = 0; j < n; j++)
+        deltas[j] = (j == i) ? 0 : delta_one(p, rows, cnt, n, D, Wx, off, wd, i, j);
+}
+
+i64 costas_swap_delta(const i64 *p, const i64 *rows, const i64 *cnt,
+                      i64 n, i64 D, i64 Wx, i64 off, const i64 *wd,
+                      i64 i, i64 j)
+{
+    if (i == j) return 0;
+    return delta_one(p, rows, cnt, n, D, Wx, off, wd, i, j);
+}
+
+/* Apply the swap: update p, rows and cnt in place, return the cost delta. */
+i64 costas_apply(i64 *p, i64 *rows, i64 *cnt,
+                 i64 n, i64 D, i64 Wx, i64 off, const i64 *wd,
+                 i64 i, i64 j)
+{
+    i64 delta = 0;
+    i64 a = p[i], b = p[j];
+    for (i64 d = 1; d <= D; d++) {
+        i64 *cn = cnt + d * Wx;
+        i64 *rw = rows + d * n;
+        i64 w = wd[d - 1];
+        i64 cells[4];
+        int nc = 0;
+        i64 k = i - d;
+        if (k >= 0 && k != j) cells[nc++] = k;
+        k = j - d;
+        if (k >= 0 && k != i) cells[nc++] = k;
+        if (i + d < n) cells[nc++] = i;
+        if (j + d < n) cells[nc++] = j;
+        for (int c = 0; c < nc; c++) {
+            i64 kk = cells[c];
+            i64 u = rw[kk];
+            i64 x0 = p[kk], x1 = p[kk + d];
+            if (kk == i) x0 = b; else if (kk == j) x0 = a;
+            if (kk + d == i) x1 = b; else if (kk + d == j) x1 = a;
+            i64 v = x1 - x0 + off;
+            if (u == v) continue;
+            if (cn[u] >= 2) delta -= w;
+            cn[u] -= 1;
+            if (cn[v] >= 1) delta += w;
+            cn[v] += 1;
+            rw[kk] = v;
+        }
+    }
+    p[i] = b;
+    p[j] = a;
+    return delta;
+}
+
+/* Rebuild rows/cnt from the permutation; returns the full cost.  cnt rows
+ * 0..D are zeroed, rows cells are filled (sentinel L off-triangle). */
+i64 costas_rebuild(const i64 *p, i64 *rows, i64 *cnt,
+                   i64 n, i64 D, i64 Wx, i64 off, i64 L, const i64 *wd)
+{
+    for (i64 t = 0; t < (D + 1) * Wx; t++) cnt[t] = 0;
+    for (i64 t = 0; t < (D + 1) * n; t++) rows[t] = L;
+    i64 cost = 0;
+    for (i64 d = 1; d <= D; d++) {
+        i64 *rw = rows + d * n;
+        i64 *cn = cnt + d * Wx;
+        i64 w = wd[d - 1];
+        for (i64 k = 0; k + d < n; k++) {
+            i64 v = p[k + d] - p[k] + off;
+            rw[k] = v;
+            if (cn[v] >= 1) cost += w; /* every extra occupant costs ERR(d) */
+            cn[v] += 1;
+        }
+    }
+    return cost;
+}
+
+/* Per-column errors: scanning each row left to right, every cell whose value
+ * was already seen adds ERR(d) to both its columns.  `stamp` is a caller-owned
+ * scratch of W entries; `base` is a strictly increasing epoch so the scratch
+ * never needs clearing (stamp values from earlier calls can never equal
+ * base + d). */
+void costas_errors(const i64 *rows, i64 n, i64 D, const i64 *wd,
+                   i64 *stamp, i64 base, i64 *errs)
+{
+    for (i64 c = 0; c < n; c++) errs[c] = 0;
+    for (i64 d = 1; d <= D; d++) {
+        const i64 *rw = rows + d * n;
+        i64 w = wd[d - 1];
+        i64 tag = base + d;
+        for (i64 k = 0; k + d < n; k++) {
+            i64 v = rw[k];
+            if (stamp[v] == tag) {
+                errs[k] += w;
+                errs[k + d] += w;
+            } else {
+                stamp[v] = tag;
+            }
+        }
+    }
+}
+
+/* Exact cost of m candidate permutations (the dedicated-reset scoring):
+ * per (candidate, distance), duplicates = occurrences beyond the first of
+ * each value.  Same epoch-stamped scratch as costas_errors. */
+void costas_batch_costs(const i64 *cands, i64 m, i64 n, i64 D, i64 off,
+                        const i64 *wd, i64 *stamp, i64 base, i64 *out)
+{
+    for (i64 r = 0; r < m; r++) {
+        const i64 *c = cands + r * n;
+        i64 cost = 0;
+        for (i64 d = 1; d <= D; d++) {
+            i64 w = wd[d - 1];
+            i64 tag = base + r * D + d;
+            i64 dups = 0;
+            for (i64 k = 0; k + d < n; k++) {
+                i64 v = c[k + d] - c[k] + off;
+                if (stamp[v] == tag) dups++;
+                else stamp[v] = tag;
+            }
+            cost += w * dups;
+        }
+        out[r] = cost;
+    }
+}

@@ -71,6 +71,14 @@ class CallbackList:
         """Append another callback."""
         self._callbacks.append(callback)
 
+    def __len__(self) -> int:
+        return len(self._callbacks)
+
+    def __bool__(self) -> bool:
+        # An empty list is falsy so the engine can skip dispatch entirely on
+        # its innermost loop; any registered callback makes it truthy.
+        return bool(self._callbacks)
+
     def on_iteration(self, iteration: int, cost: int) -> None:
         for cb in self._callbacks:
             _call_iteration(cb, iteration, cost)

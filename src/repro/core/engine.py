@@ -4,6 +4,12 @@ One iteration of the engine:
 
 1. compute the per-variable errors of the current configuration and select the
    **most erroneous non-tabu variable** (ties broken uniformly at random);
+   the error vector is reused across iterations until a move, reset or
+   restart actually changes the configuration (a tabu-marking iteration
+   leaves it untouched), and the tabu mask is skipped entirely when *every*
+   variable is tabu — in that degenerate state tabu variables become
+   selectable again rather than leaving the engine with an empty candidate
+   set (see the note on :meth:`AdaptiveSearch.solve`);
 2. evaluate every swap involving that variable (**min-conflict** value
    selection) and
 
@@ -26,6 +32,7 @@ iterations — this is the parallel termination test of Section V-A) fires.
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import Callable, Optional
 
@@ -92,12 +99,39 @@ class AdaptiveSearch:
         max_time:
             Wall-clock limit in seconds (checked every ``check_period``
             iterations).
+
+        Notes
+        -----
+        **All-tabu edge case.**  Culprit selection masks tabu variables out
+        with an error of ``-1`` — but only while at least one variable is
+        non-tabu.  When every variable is simultaneously tabu (possible with
+        a large ``tabu_tenure`` and a ``reset_limit`` that has not yet
+        triggered) the mask is skipped, so tabu variables become selectable
+        again and the search keeps moving instead of picking uniformly among
+        all-``-1`` errors.  This is intended behaviour and is pinned by a
+        unit test.
         """
         p = params if params is not None else self.params
         cb = callbacks if callbacks is not None else self.callbacks
         notifier = cb if cb is not None else CallbackList()
+        # With no instrumentation registered, skip dispatch on the hot loop.
+        observe = bool(notifier)
         rng = ensure_generator(seed)
         seed_int = int(seed) if isinstance(seed, (int, np.integer)) else None
+
+        # Out-of-tree models written against the pre-incremental contract may
+        # still define ``apply_swap(self, i, j)``; only pass the scored delta
+        # through when the implementation can accept it.
+        try:
+            accepts_delta = (
+                "delta" in inspect.signature(problem.apply_swap).parameters
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            accepts_delta = True
+        if accepts_delta:
+            apply_swap = problem.apply_swap
+        else:
+            apply_swap = lambda i, j, delta=None: problem.apply_swap(i, j)  # noqa: E731
 
         start_time = time.perf_counter()
         if initial_configuration is not None:
@@ -120,6 +154,9 @@ class AdaptiveSearch:
 
         best_cost = cost
         best_config = problem.configuration()
+        # Per-iteration error vector, reused until the configuration changes
+        # (an iteration that only marks a variable tabu leaves it valid).
+        raw_errors: Optional[np.ndarray] = None
 
         while cost > p.target_cost:
             # ------------------------------------------------ budget / external stop
@@ -138,8 +175,12 @@ class AdaptiveSearch:
             iterations_since_restart += 1
 
             # ------------------------------------------------------- select culprit
-            errors = problem.variable_errors()
+            if raw_errors is None:
+                raw_errors = problem.variable_errors()
+            errors = raw_errors
             active_tabu = tabu_until >= iteration
+            # When *every* variable is tabu the mask is skipped on purpose:
+            # tabu variables become selectable again (see the solve() note).
             if active_tabu.any() and not active_tabu.all():
                 errors = np.where(active_tabu, -1, errors)
             max_err = errors.max()
@@ -154,27 +195,30 @@ class AdaptiveSearch:
 
             if best_delta < 0:
                 partner = _random_argmin(deltas, best_delta, rng)
-                cost = problem.apply_swap(culprit, partner)
+                cost = apply_swap(culprit, partner, delta=best_delta)
+                raw_errors = None
                 swaps += 1
-                notifier.on_event("improving_move", iteration, cost)
+                observe and notifier.on_event("improving_move", iteration, cost)
             elif best_delta == 0:
                 if rng.random() < p.plateau_probability:
                     partner = _random_argmin(deltas, best_delta, rng)
-                    cost = problem.apply_swap(culprit, partner)
+                    cost = apply_swap(culprit, partner, delta=best_delta)
+                    raw_errors = None
                     swaps += 1
                     plateau_moves += 1
-                    notifier.on_event("plateau_move", iteration, cost)
+                    observe and notifier.on_event("plateau_move", iteration, cost)
                 else:
                     marked = True
             else:
                 local_minima += 1
-                notifier.on_event("local_minimum", iteration, cost)
+                observe and notifier.on_event("local_minimum", iteration, cost)
                 if rng.random() < p.local_min_accept_probability:
                     # Escape uphill: accept the least-bad swap instead of
                     # freezing the variable (prob_select_loc_min of the
                     # reference library).
                     partner = _random_argmin(deltas, best_delta, rng)
-                    cost = problem.apply_swap(culprit, partner)
+                    cost = apply_swap(culprit, partner, delta=best_delta)
+                    raw_errors = None
                     swaps += 1
                 else:
                     marked = True
@@ -182,19 +226,22 @@ class AdaptiveSearch:
             if marked:
                 tabu_until[culprit] = iteration + p.tabu_tenure
                 marked_since_reset += 1
-                notifier.on_event("tabu_mark", iteration, cost)
+                observe and notifier.on_event("tabu_mark", iteration, cost)
 
                 # ------------------------------------------------------------ reset
                 if marked_since_reset >= p.reset_limit:
                     resets += 1
                     replacement = problem.custom_reset(rng)
                     if replacement is not None:
-                        problem.set_configuration(np.asarray(replacement, dtype=np.int64))
-                        notifier.on_event("custom_reset", iteration, cost)
+                        problem.load_trusted_configuration(
+                            np.asarray(replacement, dtype=np.int64)
+                        )
+                        observe and notifier.on_event("custom_reset", iteration, cost)
                     else:
                         self._generic_reset(problem, rng, p.reset_percentage)
-                        notifier.on_event("reset", iteration, cost)
+                        observe and notifier.on_event("reset", iteration, cost)
                     cost = problem.cost()
+                    raw_errors = None
                     marked_since_reset = 0
                     if p.clear_tabu_on_reset:
                         tabu_until[:] = 0
@@ -208,21 +255,22 @@ class AdaptiveSearch:
                 restarts += 1
                 problem.initialise(rng)
                 cost = problem.cost()
+                raw_errors = None
                 tabu_until[:] = 0
                 marked_since_reset = 0
                 iterations_since_restart = 0
-                notifier.on_event("restart", iteration, cost)
+                observe and notifier.on_event("restart", iteration, cost)
 
             if cost < best_cost:
                 best_cost = cost
                 best_config = problem.configuration()
-            notifier.on_iteration(iteration, cost)
+            observe and notifier.on_iteration(iteration, cost)
 
         solved = cost <= p.target_cost
         if solved:
             best_cost = cost
             best_config = problem.configuration()
-            notifier.on_event("solution", iteration, cost)
+            observe and notifier.on_event("solution", iteration, cost)
 
         return SolveResult(
             solved=solved,
@@ -260,7 +308,7 @@ class AdaptiveSearch:
         values = config[positions]
         rng.shuffle(values)
         config[positions] = values
-        problem.set_configuration(config)
+        problem.load_trusted_configuration(config)
 
 
 def _random_argmin(deltas: np.ndarray, best: int, rng: np.random.Generator) -> int:

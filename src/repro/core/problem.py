@@ -42,6 +42,25 @@ class PermutationProblem(abc.ABC):
     Subclasses must implement :meth:`cost`, :meth:`variable_errors`,
     :meth:`swap_delta` and :meth:`apply_swap`; everything else has sensible
     defaults.
+
+    **Incremental API surface.**  Models that maintain incremental state
+    (count tables, cached error vectors — see :mod:`repro.core.incremental`)
+    advertise it with :attr:`incremental` and interact with the engine through
+    two hooks:
+
+    * :meth:`apply_swap` accepts an optional ``delta`` keyword — the exact
+      cost change of the swap as previously reported by :meth:`swap_deltas` /
+      :meth:`swap_delta`.  The engine always passes it, so an incremental
+      model can update its cached cost with one addition instead of
+      re-deriving the delta.  ``delta`` is a trusted exact value, not a hint:
+      passing a wrong one corrupts the cached cost (which
+      :meth:`check_consistency` will catch).
+    * :meth:`invalidate_caches` is the dirty-state hook: it marks every
+      derived quantity (cost, error vector, count tables) stale.  Models call
+      it internally whenever their configuration changes; external callers
+      that mutate state behind the model's back (tests, debugging tools) can
+      call it directly.  :meth:`set_configuration` must always rebuild from
+      scratch, so it subsumes this hook.
     """
 
     def __init__(self, size: int, name: str = "") -> None:
@@ -60,6 +79,15 @@ class PermutationProblem(abc.ABC):
     def name(self) -> str:
         """Human-readable problem name (used in logs, results and tables)."""
         return self._name
+
+    @property
+    def incremental(self) -> bool:
+        """Whether this model evaluates moves through incremental state.
+
+        Purely informative (benchmarks and experiment manifests report it);
+        the engine works identically either way.
+        """
+        return False
 
     # -------------------------------------------------------------- life cycle
     def initial_configuration(self, rng: np.random.Generator) -> np.ndarray:
@@ -81,6 +109,19 @@ class PermutationProblem(abc.ABC):
     def configuration(self) -> np.ndarray:
         """Return a copy of the current configuration."""
 
+    def load_trusted_configuration(self, perm: np.ndarray) -> None:
+        """Install a configuration that is already known to be a permutation.
+
+        The engine uses this for configurations it derived from the problem's
+        own state (resets, restarts, reset-candidate perturbations), where
+        re-validating "is this a permutation of 0..n-1" on every install is
+        pure overhead on the hot path.  The default just delegates to
+        :meth:`set_configuration`; incremental models may override it to skip
+        validation (never the rebuild).  External callers with untrusted data
+        must use :meth:`set_configuration`.
+        """
+        self.set_configuration(perm)
+
     # ------------------------------------------------------------------- errors
     @abc.abstractmethod
     def cost(self) -> int:
@@ -95,8 +136,14 @@ class PermutationProblem(abc.ABC):
         """Change in :meth:`cost` if variables *i* and *j* were swapped."""
 
     @abc.abstractmethod
-    def apply_swap(self, i: int, j: int) -> int:
-        """Swap variables *i* and *j*; return the new cost."""
+    def apply_swap(self, i: int, j: int, delta: Optional[int] = None) -> int:
+        """Swap variables *i* and *j*; return the new cost.
+
+        ``delta``, when given, is the exact cost change of this swap (as
+        previously computed by :meth:`swap_deltas` or :meth:`swap_delta`).
+        Incremental implementations use it to skip re-deriving the delta;
+        full-recompute implementations are free to ignore it.
+        """
 
     def swap_deltas(self, i: int) -> np.ndarray:
         """Cost deltas of swapping *i* with every other variable.
@@ -128,6 +175,16 @@ class PermutationProblem(abc.ABC):
         this with the paper's dedicated three-perturbation procedure.
         """
         return None
+
+    # ------------------------------------------------------------- dirty state
+    def invalidate_caches(self) -> None:
+        """Mark every cached derived quantity (cost, errors, tables) stale.
+
+        The default implementation does nothing — a full-recompute model has
+        no caches.  Incremental models override it; they also call it
+        internally from every mutating method, so ordinary engine use never
+        needs to invoke this explicitly.
+        """
 
     # ------------------------------------------------------------------ checks
     def check_consistency(self) -> None:
@@ -227,6 +284,7 @@ class FunctionalPermutationProblem(PermutationProblem):
         self._config[i], self._config[j] = self._config[j], self._config[i]
         return after - before
 
-    def apply_swap(self, i: int, j: int) -> int:
+    def apply_swap(self, i: int, j: int, delta: Optional[int] = None) -> int:
+        # Reference adapter: always recompute; ``delta`` is deliberately ignored.
         self._config[i], self._config[j] = self._config[j], self._config[i]
         return self.cost()

@@ -16,13 +16,19 @@ solver in :mod:`repro.core`, :mod:`repro.baselines` or :mod:`repro.parallel`
 accepts any of them.
 """
 
-from repro.models.costas import CostasProblem, basic_costas_problem, optimized_costas_problem
+from repro.models.costas import (
+    CostasProblem,
+    ReferenceCostasProblem,
+    basic_costas_problem,
+    optimized_costas_problem,
+)
 from repro.models.queens import NQueensProblem
 from repro.models.all_interval import AllIntervalProblem
 from repro.models.magic_square import MagicSquareProblem
 
 __all__ = [
     "CostasProblem",
+    "ReferenceCostasProblem",
     "basic_costas_problem",
     "optimized_costas_problem",
     "NQueensProblem",

@@ -15,7 +15,7 @@ good minimal test bed for the engine.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -109,7 +109,8 @@ class AllIntervalProblem(PermutationProblem):
         if c >= 1:
             self._cost += 1
 
-    def apply_swap(self, i: int, j: int) -> int:
+    def apply_swap(self, i: int, j: int, delta: Optional[int] = None) -> int:
+        # The interval counts make the update O(1) already; ``delta`` unused.
         if i != j:
             slots = self._interval_indices(i, j)
             for k in slots:

@@ -15,7 +15,7 @@ swaps.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -133,7 +133,8 @@ class MagicSquareProblem(PermutationProblem):
         if c == n - 1 - r:
             self._anti_sum += delta
 
-    def apply_swap(self, i: int, j: int) -> int:
+    def apply_swap(self, i: int, j: int, delta: Optional[int] = None) -> int:
+        # Line-sum bookkeeping is O(1) already; the ``delta`` hint is unused.
         if i != j:
             vi, vj = int(self._perm[i]), int(self._perm[j])
             self._shift_cell(i, vj - vi)

@@ -10,6 +10,13 @@ queen in column ``i`` — rows and columns are therefore always alldifferent by
 construction and only the two diagonal families can conflict.  The cost is the
 number of "extra" queens per diagonal (``max(count - 1, 0)`` summed over the
 ``4n - 2`` diagonals), maintained incrementally under swaps.
+
+The diagonal-conflict counts admit the same count-table trick as the Costas
+difference triangle: a swap of columns ``i`` and ``j`` moves exactly two
+queens, so it touches two cells of each diagonal family, and
+:meth:`NQueensProblem.swap_deltas` scores all ``n`` candidate swaps straight
+from the ``_up``/``_down`` occurrence tables through the event algebra of
+:mod:`repro.core.incremental` — no swap is ever simulated.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.incremental import grouped_dup_delta
 from repro.core.problem import PermutationProblem
 from repro.exceptions import ModelError
 
@@ -37,19 +45,29 @@ class NQueensProblem(PermutationProblem):
         self._up = np.zeros(2 * n - 1, dtype=np.int64)  # i + p[i]
         self._down = np.zeros(2 * n - 1, dtype=np.int64)  # i - p[i] + n - 1
         self._cost = 0
+        self._idx = np.arange(n, dtype=np.int64)
+        self._errors: Optional[np.ndarray] = None
         self._rebuild()
 
     # ------------------------------------------------------------------- state
+    @property
+    def incremental(self) -> bool:
+        return True
+
+    def invalidate_caches(self) -> None:
+        self._rebuild()
+
     def _rebuild(self) -> None:
         n = self.size
         self._up[:] = 0
         self._down[:] = 0
-        idx = np.arange(n)
+        idx = self._idx
         np.add.at(self._up, idx + self._perm, 1)
         np.add.at(self._down, idx - self._perm + n - 1, 1)
         self._cost = int(
             np.sum(np.maximum(self._up - 1, 0)) + np.sum(np.maximum(self._down - 1, 0))
         )
+        self._errors = None
 
     def set_configuration(self, perm: Sequence[int] | np.ndarray) -> None:
         arr = np.asarray(perm, dtype=np.int64)
@@ -76,12 +94,18 @@ class NQueensProblem(PermutationProblem):
             raise AssertionError(f"cached cost {cached} != recomputed {self._cost}")
 
     def variable_errors(self) -> np.ndarray:
-        """A queen's error is the number of other queens it attacks."""
-        n = self.size
-        idx = np.arange(n)
-        up = self._up[idx + self._perm] - 1
-        down = self._down[idx - self._perm + n - 1] - 1
-        return (up + down).astype(np.int64)
+        """A queen's error is the number of other queens it attacks.
+
+        Cached until the next mutation (the engine reads it every iteration
+        but the configuration only changes when a swap is actually applied).
+        """
+        if self._errors is None:
+            n = self.size
+            idx = self._idx
+            up = self._up[idx + self._perm] - 1
+            down = self._down[idx - self._perm + n - 1] - 1
+            self._errors = (up + down).astype(np.int64)
+        return self._errors.copy()
 
     # ------------------------------------------------------------------- moves
     def _remove(self, i: int) -> None:
@@ -106,13 +130,16 @@ class NQueensProblem(PermutationProblem):
             self._cost += 1
         self._down[d] += 1
 
-    def apply_swap(self, i: int, j: int) -> int:
+    def apply_swap(self, i: int, j: int, delta: Optional[int] = None) -> int:
+        # The diagonal tables make the update O(1) either way, so the
+        # precomputed ``delta`` is not needed; the caches are invalidated.
         if i != j:
             self._remove(i)
             self._remove(j)
             self._perm[i], self._perm[j] = self._perm[j], self._perm[i]
             self._add(i)
             self._add(j)
+            self._errors = None
         return int(self._cost)
 
     def swap_delta(self, i: int, j: int) -> int:
@@ -125,10 +152,34 @@ class NQueensProblem(PermutationProblem):
         return after - before
 
     def swap_deltas(self, i: int) -> np.ndarray:
+        """Score every swap involving column *i* from the diagonal tables.
+
+        Swapping columns ``i`` and ``j`` removes the two queens' current
+        diagonals and re-adds their crossed ones; each family (``up`` and
+        ``down``) therefore sees four events per candidate, whose exact
+        duplicate-count change :func:`repro.core.incremental.grouped_dup_delta`
+        reads off the occurrence tables — including the collision cases where
+        both queens sit on (or land on) the same diagonal.
+        """
         n = self.size
-        deltas = np.empty(n, dtype=np.int64)
-        for j in range(n):
-            deltas[j] = 0 if j == i else self.swap_delta(i, j)
+        p = self._perm
+        j = self._idx
+        a = int(p[i])
+        # Events per family: remove both queens' diagonals, add the crossed ones.
+        V = np.empty((2, n, 4), dtype=np.int64)
+        V[0, :, 0] = i + a  # up family
+        V[0, :, 1] = j + p
+        V[0, :, 2] = i + p
+        V[0, :, 3] = j + a
+        V[1, :, 0] = i - a + n - 1  # down family
+        V[1, :, 1] = j - p + n - 1
+        V[1, :, 2] = i - p + n - 1
+        V[1, :, 3] = j - a + n - 1
+        signs = np.array([-1, -1, 1, 1], dtype=np.int64)
+        counts = np.empty_like(V)
+        counts[0] = self._up[V[0]]
+        counts[1] = self._down[V[1]]
+        deltas = grouped_dup_delta(V, np.broadcast_to(signs, V.shape), counts).sum(axis=0)
         deltas[i] = _INT64_MAX
         return deltas
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import queue as queue_module
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
@@ -32,6 +33,12 @@ from repro.exceptions import ParallelExecutionError
 from repro.parallel.seeds import spawned_seeds
 
 __all__ = ["MultiWalkResult", "MultiWalkSolver"]
+
+#: Grace added to the max_time-derived collection deadline: a walk's budget
+#: only starts ticking inside its worker, after process start-up, imports and
+#: problem construction (first use may even compile the C kernels), and the
+#: engine polls max_time only every ``check_period`` iterations.
+_STARTUP_ALLOWANCE = 15.0
 
 
 @dataclass
@@ -50,6 +57,10 @@ class MultiWalkResult:
     n_workers: int
     wall_time: float
     seeds: List[int] = field(default_factory=list)
+    #: Walk indices that never reported (worker died or missed the deadline).
+    #: Empty on a clean run; non-empty results are still usable — ``best`` and
+    #: ``results`` cover every walk that did report.
+    missing_walks: List[int] = field(default_factory=list)
 
     @property
     def solved(self) -> bool:
@@ -147,6 +158,19 @@ class MultiWalkSolver:
 
         ``max_time`` bounds each walk's wall-clock time; ``join_timeout`` is a
         safety net for collecting worker processes after termination.
+
+        Result collection never blocks forever: if a worker process dies
+        without reporting (hard crash, OOM kill), the unreported walks are
+        detected within ``join_timeout``; when ``max_time`` is set, a global
+        deadline of ``max_time + join_timeout`` plus a fixed startup
+        allowance (each walk's clock starts inside its worker, after process
+        spawn and problem construction) backstops workers that hang without
+        dying.  If at least one walk reported, the partial outcome is
+        returned with the gaps listed in
+        :attr:`MultiWalkResult.missing_walks` (a dead loser must not discard
+        a solved winner); when *no* walk reported, a
+        :class:`~repro.exceptions.ParallelExecutionError` listing the missing
+        walks is raised.
         """
         seeds = (
             self._explicit_seeds[: self.n_workers]
@@ -188,17 +212,71 @@ class MultiWalkSolver:
 
         results: List[SolveResult] = []
         errors: List[str] = []
-        for _ in range(len(workers)):
-            kind, walk_index, payload = queue.get()
-            if kind == "ok":
-                results.append(SolveResult.from_dict(payload))
-            else:  # pragma: no cover - defensive
-                errors.append(f"walk {walk_index}: {payload}")
-
-        for proc in workers:
-            proc.join(timeout=join_timeout)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
+        pending = {idx: proc for idx, proc in enumerate(workers)}
+        # Workers legitimately run unbounded when max_time is None, so the
+        # global deadline only exists when a per-walk budget does; dead
+        # workers are detected regardless through liveness polling.
+        deadline = (
+            start + max_time + join_timeout + _STARTUP_ALLOWANCE
+            if max_time is not None
+            else None
+        )
+        poll = max(0.05, min(0.5, join_timeout / 10.0))
+        dead_since: Optional[float] = None
+        missing: List[int] = []
+        try:
+            while pending:
+                try:
+                    kind, walk_index, payload = queue.get(timeout=poll)
+                except queue_module.Empty:
+                    now = time.perf_counter()
+                    dead = sorted(
+                        idx for idx, proc in pending.items() if not proc.is_alive()
+                    )
+                    if dead:
+                        # Give the queue feeder a grace period to flush any
+                        # result the worker enqueued just before exiting.
+                        if dead_since is None:
+                            dead_since = now
+                        elif now - dead_since > join_timeout:
+                            missing = dead
+                            if results:
+                                break  # degrade: keep the walks that reported
+                            raise ParallelExecutionError(
+                                f"walk(s) {dead} died without reporting "
+                                f"(no result within join_timeout={join_timeout}s)"
+                                + (
+                                    "; worker errors: " + "; ".join(errors)
+                                    if errors
+                                    else ""
+                                )
+                            )
+                    else:
+                        dead_since = None
+                    if deadline is not None and now > deadline:
+                        missing = sorted(pending)
+                        if results:
+                            break  # degrade: keep the walks that reported
+                        raise ParallelExecutionError(
+                            f"walk(s) {missing} missed the deadline "
+                            f"(max_time={max_time}s + join_timeout={join_timeout}s "
+                            f"+ {_STARTUP_ALLOWANCE}s startup allowance)"
+                        )
+                    continue
+                pending.pop(walk_index, None)
+                dead_since = None
+                if kind == "ok":
+                    results.append(SolveResult.from_dict(payload))
+                else:  # pragma: no cover - defensive
+                    errors.append(f"walk {walk_index}: {payload}")
+        finally:
+            # On success this is the normal join; on error it also tells the
+            # surviving walks to stop before reaping them.
+            stop_event.set()
+            for proc in workers:
+                proc.join(timeout=join_timeout if not pending else 0.1)
+                if proc.is_alive():
+                    proc.terminate()
         elapsed = time.perf_counter() - start
 
         if not results:
@@ -206,4 +284,6 @@ class MultiWalkSolver:
                 "every worker failed: " + "; ".join(errors) if errors else "no results"
             )
         best = SolveResult.best_of(results)
-        return MultiWalkResult(best, results, len(workers), elapsed, list(seeds))
+        return MultiWalkResult(
+            best, results, len(workers), elapsed, list(seeds), missing_walks=missing
+        )

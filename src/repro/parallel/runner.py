@@ -15,6 +15,7 @@ machines, exactly like the paper reuses one implementation across testbeds.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from dataclasses import dataclass, field
@@ -139,8 +140,11 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------- pools
     def _cache_key(self, problem: PermutationProblem, params: ASParameters, runs: int) -> str:
+        # Must be stable across processes: ``hash(str)`` is salted per process
+        # (PYTHONHASHSEED), which made on-disk pool caches unreachable on the
+        # next run.  A truncated SHA-256 of the payload is deterministic.
         payload = f"{problem.describe()}|{params}|runs={runs}"
-        return str(abs(hash(payload)))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def collect_pool(
         self,

@@ -154,6 +154,75 @@ class TestGenericReset:
         assert sorted(result.configuration) == list(range(8))
 
 
+class _EverywhereLocalMinimum(FunctionalPermutationProblem):
+    """Cost 1 + (#misplaced values): the identity is a strict local minimum
+    with nonzero cost, so every iteration marks the culprit tabu."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(
+            n,
+            cost_fn=lambda perm: 1 + int(np.sum(perm != np.arange(len(perm)))),
+            variable_errors_fn=lambda perm: np.ones(len(perm), dtype=np.int64),
+            name="stuck",
+        )
+
+
+class TestAllTabuEdgeCase:
+    """When every variable is tabu the mask is skipped and tabu variables
+    become selectable again (pinned behaviour; see AdaptiveSearch.solve)."""
+
+    def test_engine_keeps_selecting_once_everything_is_tabu(self):
+        n = 6
+        problem = _EverywhereLocalMinimum(n)
+        events = EventCounter()
+        # Huge tenure, reset threshold never reached, no uphill escapes and no
+        # plateaus: after n iterations every variable is tabu simultaneously.
+        params = ASParameters(
+            tabu_tenure=10_000,
+            reset_limit=1_000_000,
+            plateau_probability=0.0,
+            local_min_accept_probability=0.0,
+            max_iterations=4 * n,
+        )
+        result = solve(
+            problem,
+            seed=0,
+            params=params,
+            callbacks=CallbackList([events]),
+            initial_configuration=np.arange(n),
+        )
+        # The run must keep iterating (and marking) well past the point where
+        # all n variables are tabu, rather than dying on an empty candidate
+        # set or an all -1 error vector.
+        assert not result.solved
+        assert result.iterations == 4 * n
+        assert events["tabu_mark"] == 4 * n
+        assert events["local_minimum"] == 4 * n
+        assert result.resets == 0
+
+    def test_no_moves_are_applied_while_stuck(self):
+        # Sanity companion: the all-tabu iterations mark variables but never
+        # move, so the configuration is untouched for the whole run.
+        n = 6
+        problem = _EverywhereLocalMinimum(n)
+        params = ASParameters(
+            tabu_tenure=10_000,
+            reset_limit=1_000_000,
+            plateau_probability=0.0,
+            local_min_accept_probability=0.0,
+            max_iterations=3 * n,
+        )
+        result = solve(
+            problem,
+            seed=1,
+            params=params,
+            initial_configuration=np.arange(n),
+        )
+        assert result.swaps == 0
+        assert result.iterations == 3 * n
+        assert list(problem.configuration()) == list(range(n))
+
+
 class TestEngineObject:
     def test_engine_params_default_and_override(self):
         engine = AdaptiveSearch(params=ASParameters.for_costas(9))

@@ -68,3 +68,100 @@ class TestMultiProcess:
 
         outcome = parallel_solve_costas(9, n_workers=2, seed_root=3, max_time=120.0)
         assert outcome.solved
+
+
+def _exit_without_reporting(*args, **kwargs):  # pragma: no cover - child body
+    import os
+
+    os._exit(3)
+
+
+class TestDeadWorkerDetection:
+    def test_partial_results_survive_a_dead_loser(self, monkeypatch):
+        # One walk reports (and solves), the other is killed before reporting:
+        # the solved outcome must be returned, with the gap recorded, instead
+        # of being discarded by an exception.
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        import repro.parallel.multiwalk as mw
+
+        real_worker = mw._worker
+
+        def selective(factory, params, seed, walk_index, stop_event, queue, max_time):
+            if walk_index == 0:
+                real_worker(
+                    factory, params, seed, walk_index, stop_event, queue, max_time
+                )
+            else:  # pragma: no cover - child body
+                import os
+
+                os._exit(3)
+
+        monkeypatch.setattr(mw, "_worker", selective)
+        solver = MultiWalkSolver(
+            costas_factory(9),
+            ASParameters.for_costas(9),
+            n_workers=2,
+            seed_root=1,
+            mp_context="fork",
+        )
+        outcome = solver.solve(join_timeout=1.0)
+        assert outcome.solved
+        assert outcome.missing_walks == [1]
+        assert len(outcome.results) == 1
+
+    def test_worker_death_raises_listing_missing_walks(self, monkeypatch):
+        # A worker that hard-crashes (os._exit, OOM kill) never puts anything
+        # on the queue; solve() used to block forever on queue.get().  With
+        # the fork start method the child inherits the monkeypatched module,
+        # so every walk dies silently and there is nothing to salvage.
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        import repro.parallel.multiwalk as mw
+
+        monkeypatch.setattr(mw, "_worker", _exit_without_reporting)
+        solver = MultiWalkSolver(
+            costas_factory(9),
+            ASParameters.for_costas(9),
+            n_workers=2,
+            seed_root=1,
+            mp_context="fork",
+        )
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            solver.solve(join_timeout=1.0)
+        message = str(excinfo.value)
+        assert "died without reporting" in message
+        assert "[0, 1]" in message
+
+    def test_deadline_backstop_when_worker_hangs(self, monkeypatch):
+        # A worker that never reports but stays alive must trip the
+        # max_time-derived deadline instead of blocking forever.
+        import multiprocessing as mp
+        import time as time_module
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        import repro.parallel.multiwalk as mw
+
+        def _hang(*args, **kwargs):  # pragma: no cover - child body
+            time_module.sleep(60)
+
+        monkeypatch.setattr(mw, "_worker", _hang)
+        # The mechanism is under test, not the production grace constant.
+        monkeypatch.setattr(mw, "_STARTUP_ALLOWANCE", 0.5)
+        solver = MultiWalkSolver(
+            costas_factory(9),
+            ASParameters.for_costas(9),
+            n_workers=2,
+            seed_root=1,
+            mp_context="fork",
+        )
+        start = time_module.perf_counter()
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            solver.solve(max_time=0.5, join_timeout=0.5)
+        assert time_module.perf_counter() - start < 30
+        assert "deadline" in str(excinfo.value)

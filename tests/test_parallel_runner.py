@@ -80,6 +80,36 @@ class TestExperimentRunner:
         b = other.collect_pool(costas_factory(8), costas_params(8), 5)
         assert [s.iterations for s in a.samples] == [s.iterations for s in b.samples]
 
+    def test_cache_key_is_stable_across_processes(self):
+        # abs(hash(payload)) was salted by PYTHONHASHSEED, so on-disk pools
+        # could never be rehit by a later run; the key must now be a pure
+        # function of the payload.
+        import hashlib
+        import subprocess
+        import sys
+
+        runner = ExperimentRunner()
+        problem = costas_factory(8)()
+        params = costas_params(8)
+        key = runner._cache_key(problem, params, 5)
+        payload = f"{problem.describe()}|{params}|runs=5"
+        assert key == hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        # Recompute in a subprocess with a different hash seed: same key.
+        code = (
+            "from repro.parallel.runner import ExperimentRunner\n"
+            "from repro.experiments.base import costas_factory, costas_params\n"
+            "print(ExperimentRunner()._cache_key("
+            "costas_factory(8)(), costas_params(8), 5))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**__import__("os").environ, "PYTHONHASHSEED": "424242"},
+        )
+        assert out.stdout.strip() == key
+
     def test_collect_pool_validation(self):
         runner = ExperimentRunner()
         with pytest.raises(ParallelExecutionError):

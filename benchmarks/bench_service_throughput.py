@@ -1,0 +1,289 @@
+"""Service vs naive per-request solving: throughput and latency percentiles.
+
+Replays the same mixed request workload through two fulfilment paths:
+
+* **service** — one long-lived :class:`~repro.service.api.SolverService`
+  (persistent solution store with symmetry-class keying, coalescing
+  scheduler, warm worker pool);
+* **naive** — what the repo did before the service layer: every request
+  constructs a fresh :class:`~repro.parallel.multiwalk.MultiWalkSolver` and
+  solves from scratch (per-request process spawn included, one walk, same
+  engine underneath).
+
+The workload mixes the four request classes the service is built for:
+
+* ``repeated`` — the same order requested over and over (store hits after
+  the first);
+* ``symmetry`` — requests answered by a *variant* of a stored solution
+  (one stored canonical array serves its whole dihedral class);
+* ``constructible`` — orders with a Welch/Lempel/Golomb construction
+  (answered algebraically, never searched);
+* ``fresh`` — previously unseen orders that genuinely need search.
+
+Results go to ``BENCH_service.json``.  The PR's acceptance criterion is the
+``repeated_symmetry`` speedup: the store + coalescing path must be >= 10x the
+naive path on the repeated/symmetry-equivalent classes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py \\
+        --quick --out bench-smoke.json --require-speedup 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.params import ASParameters
+from repro.experiments.base import costas_factory
+from repro.parallel.multiwalk import MultiWalkSolver
+from repro.service.api import ServiceConfig, SolverService
+
+# (class, order) pairs; orders chosen so "fresh"/"repeated" need real search
+# (no construction exists: 8+1=9, 8+2=10; 13 is constructible -> only used in
+# the constructible class) while staying small enough for the naive rival.
+_REPEATED_ORDER = 9
+_SYMMETRY_ORDER = 10
+_CONSTRUCTIBLE_ORDERS = (11, 12, 13)
+_FRESH_ORDERS = (8, 14, 15)
+
+
+def build_workload(repeats: int) -> List[Tuple[str, int]]:
+    """The mixed request stream, deterministically interleaved."""
+    workload: List[Tuple[str, int]] = []
+    for i in range(repeats):
+        workload.append(("repeated", _REPEATED_ORDER))
+        workload.append(("symmetry", _SYMMETRY_ORDER))
+        workload.append(("constructible", _CONSTRUCTIBLE_ORDERS[i % len(_CONSTRUCTIBLE_ORDERS)]))
+        if i < len(_FRESH_ORDERS):
+            workload.append(("fresh", _FRESH_ORDERS[i]))
+    return workload
+
+
+def _percentiles(latencies: Sequence[float]) -> Dict[str, float]:
+    arr = np.asarray(latencies, dtype=float) * 1000.0  # ms
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p90_ms": float(np.percentile(arr, 90)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "max_ms": float(arr.max()),
+    }
+
+
+def _summarise(
+    per_class: Dict[str, List[float]], wall: float, label: str
+) -> Dict[str, object]:
+    all_latencies = [lat for lats in per_class.values() for lat in lats]
+    total = len(all_latencies)
+    return {
+        "path": label,
+        "requests": total,
+        "wall_seconds": wall,
+        "requests_per_second": total / wall if wall else 0.0,
+        "overall": _percentiles(all_latencies),
+        "classes": {
+            cls: {
+                "requests": len(lats),
+                "requests_per_second": len(lats) / sum(lats) if sum(lats) else 0.0,
+                **_percentiles(lats),
+            }
+            for cls, lats in per_class.items()
+        },
+    }
+
+
+def run_service(workload, n_workers: int, max_time: float, store_path: str):
+    """All requests through one warm SolverService (sequential client)."""
+    per_class: Dict[str, List[float]] = {}
+    config = ServiceConfig(
+        store_path=store_path,
+        n_workers=n_workers,
+        default_max_time=max_time,
+    )
+    with SolverService(config) as service:
+        # Pre-seed the symmetry class exactly once so the "symmetry" stream
+        # measures variant-expanding *reads*, mirroring a second tenant whose
+        # requests land in an already-stored equivalence class.
+        seed_response = service.submit(_SYMMETRY_ORDER).result(timeout=600)
+        assert seed_response.solved
+        start = time.perf_counter()
+        for cls, order in workload:
+            t0 = time.perf_counter()
+            response = service.submit(order).result(timeout=600)
+            if not response.solved:
+                raise RuntimeError(f"service failed to solve order {order}")
+            per_class.setdefault(cls, []).append(time.perf_counter() - t0)
+        wall = time.perf_counter() - start
+        stats = service.stats()
+    summary = _summarise(per_class, wall, "service")
+    summary["service_stats"] = {
+        "store": stats["store"],
+        "scheduler": stats["scheduler"],
+        "pool": stats["pool"],
+    }
+    return summary
+
+
+def run_naive(workload, n_workers: int, max_time: float):
+    """The pre-service behaviour: a fresh per-request MultiWalkSolver.
+
+    Same process budget as the service (*n_workers* walks), but paid per
+    request: every request spawns fresh worker processes and re-solves from
+    scratch — exactly what ``repro parallel`` did before the service layer.
+    """
+    per_class: Dict[str, List[float]] = {}
+    start = time.perf_counter()
+    for index, (cls, order) in enumerate(workload):
+        t0 = time.perf_counter()
+        solver = MultiWalkSolver(
+            costas_factory(order),
+            ASParameters.for_costas(order),
+            n_workers=n_workers,
+            seed_root=100_000 + index,
+        )
+        outcome = solver.solve(max_time=max_time)
+        if not outcome.solved:
+            raise RuntimeError(f"naive path failed to solve order {order}")
+        per_class.setdefault(cls, []).append(time.perf_counter() - t0)
+    wall = time.perf_counter() - start
+    return _summarise(per_class, wall, "naive")
+
+
+def _class_rate(summary: Dict[str, object], classes: Sequence[str]) -> float:
+    total_requests = 0
+    total_seconds = 0.0
+    for cls in classes:
+        cell = summary["classes"].get(cls)
+        if cell is None:
+            continue
+        total_requests += cell["requests"]
+        total_seconds += cell["requests"] / cell["requests_per_second"] if cell["requests_per_second"] else 0.0
+    return total_requests / total_seconds if total_seconds else 0.0
+
+
+def run(repeats: int, n_workers: int, max_time: float, store_path: str) -> dict:
+    workload = build_workload(repeats)
+    naive = run_naive(workload, n_workers, max_time)
+    service = run_service(workload, n_workers, max_time, store_path)
+    hot = ("repeated", "symmetry")
+    service_hot = _class_rate(service, hot)
+    naive_hot = _class_rate(naive, hot)
+    return {
+        "benchmark": "bench_service_throughput",
+        "unit": "requests per second (latency percentiles in ms)",
+        "workload": {
+            "requests": len(workload),
+            "repeats": repeats,
+            "classes": {
+                "repeated": _REPEATED_ORDER,
+                "symmetry": _SYMMETRY_ORDER,
+                "constructible": list(_CONSTRUCTIBLE_ORDERS),
+                "fresh": list(_FRESH_ORDERS),
+            },
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "service": service,
+        "naive": naive,
+        "speedup": {
+            "overall": (
+                service["requests_per_second"] / naive["requests_per_second"]
+                if naive["requests_per_second"]
+                else float("inf")
+            ),
+            "repeated_symmetry": (
+                service_hot / naive_hot if naive_hot else float("inf")
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=25,
+        help="rounds of the mixed workload (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="service worker processes (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-time",
+        type=float,
+        default=120.0,
+        help="per-walk budget in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_service.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--store",
+        default=":memory:",
+        help="service store path (default: ephemeral %(default)s)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke preset: 6 rounds",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless the repeated/symmetry speedup reaches X",
+    )
+    args = parser.parse_args(argv)
+    repeats = 6 if args.quick else args.repeats
+
+    report = run(repeats, args.workers, args.max_time, args.store)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for label in ("naive", "service"):
+        cell = report[label]
+        print(
+            f"{label:8s} {cell['requests']:4d} requests  "
+            f"{cell['requests_per_second']:10.1f} req/s  "
+            f"p50={cell['overall']['p50_ms']:8.2f}ms  "
+            f"p99={cell['overall']['p99_ms']:8.2f}ms"
+        )
+    hot = report["speedup"]["repeated_symmetry"]
+    print(
+        f"speedup: overall {report['speedup']['overall']:.1f}x, "
+        f"repeated/symmetry {hot:.1f}x"
+    )
+    print(f"wrote {args.out}")
+    if args.require_speedup is not None and hot < args.require_speedup:
+        print(
+            f"FAIL: repeated/symmetry speedup {hot:.1f}x is below the "
+            f"required {args.require_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

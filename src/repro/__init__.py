@@ -16,7 +16,10 @@ up to 8,192 cores.  This package rebuilds that whole stack in Python:
   ``multiprocessing`` execution, a simulated message-passing layer, and a
   virtual-cluster performance model of the paper's machines;
 * :mod:`repro.analysis` — run statistics, speed-ups and time-to-target fits;
-* :mod:`repro.experiments` — one driver per table and figure of the paper.
+* :mod:`repro.experiments` — one driver per table and figure of the paper;
+* :mod:`repro.service` — solver-as-a-service on top of all of it: a
+  persistent symmetry-keyed solution store, a coalescing request scheduler,
+  a long-lived worker pool and a stdlib HTTP API (``repro serve``).
 
 Quickstart
 ----------

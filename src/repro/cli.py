@@ -15,6 +15,11 @@ Commands
     ``ablation-*``) at a chosen scale preset and print its table.
 ``repro list-experiments``
     Show the identifiers accepted by ``repro experiment``.
+``repro serve``
+    Run the solver-as-a-service HTTP server (persistent solution store,
+    request coalescing, long-lived worker pool).
+``repro request N``
+    Submit one solve request to a running ``repro serve`` instance.
 """
 
 from __future__ import annotations
@@ -43,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--seed", type=int, default=None, help="random seed")
     p_solve.add_argument("--basic", action="store_true", help="use the basic (untuned) model")
     p_solve.add_argument("--quiet", action="store_true", help="only print the permutation")
+    p_solve.add_argument(
+        "--construct-first",
+        action="store_true",
+        help="try the Welch/Lempel/Golomb constructions before searching",
+    )
 
     p_par = sub.add_parser("parallel", help="solve one CAP instance with multi-walk processes")
     p_par.add_argument("order", type=int)
@@ -73,11 +83,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--json", action="store_true", help="print the raw rows as JSON")
 
     sub.add_parser("list-experiments", help="list experiment identifiers")
+
+    p_serve = sub.add_parser("serve", help="run the solver-as-a-service HTTP server")
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8000, help="TCP port")
+    p_serve.add_argument(
+        "--db", default="solutions.db", help="solution store path (':memory:' for ephemeral)"
+    )
+    p_serve.add_argument("--workers", type=int, default=None, help="worker process count")
+    p_serve.add_argument("--walks", type=int, default=1, help="independent walks per search job")
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=256, help="max queued jobs before 503 backpressure"
+    )
+    p_serve.add_argument(
+        "--max-time", type=float, default=300.0, help="default per-walk time budget (s)"
+    )
+    p_serve.add_argument("--quiet", action="store_true", help="suppress per-request logging")
+
+    p_req = sub.add_parser("request", help="submit one request to a running server")
+    p_req.add_argument("order", type=int, help="Costas array order")
+    p_req.add_argument("--url", default="http://127.0.0.1:8000", help="server base URL")
+    p_req.add_argument("--priority", type=int, default=0, help="scheduling priority")
+    p_req.add_argument("--max-time", type=float, default=None, help="per-walk budget (s)")
+    p_req.add_argument(
+        "--timeout", type=float, default=600.0, help="client-side wait limit (s)"
+    )
     return parser
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro import ASParameters, solve_costas
+
+    if args.construct_first:
+        from repro.costas import construct
+        from repro.exceptions import ConstructionError
+
+        try:
+            array = construct(args.order)
+        except ConstructionError:
+            if not args.quiet:
+                print(
+                    f"no algebraic construction for order {args.order}; "
+                    "falling back to search"
+                )
+        else:
+            if args.quiet:
+                print(list(array.to_one_based()))
+            else:
+                print(f"constructed algebraically (order {args.order})")
+                print("permutation (1-based):", list(array.to_one_based()))
+                print(array.render())
+            return 0
 
     options = {}
     if args.basic:
@@ -134,9 +190,14 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
 
     arrays = list(enumerate_costas_arrays(args.order))
     print(f"order {args.order}: {len(arrays)} Costas arrays")
+    mismatch = False
     published = known_count(args.order)
     if published is not None:
-        status = "matches" if published == len(arrays) else "DIFFERS FROM"
+        # Cross-check against the published table (OEIS A008404): a mismatch
+        # means the enumeration (or the table) is wrong, so make it loud and
+        # fail the command — this turns the table into a live validation.
+        mismatch = published != len(arrays)
+        status = "matches" if not mismatch else "DIFFERS FROM"
         print(f"published count: {published} ({status} enumeration)")
     if args.classes:
         classes = equivalence_classes(arrays)
@@ -144,6 +205,13 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     if args.print_arrays:
         for array in arrays:
             print(list(array.to_one_based()))
+    if mismatch:
+        print(
+            f"error: enumeration found {len(arrays)} arrays but the published "
+            f"count for order {args.order} is {published}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -168,6 +236,105 @@ def _cmd_list_experiments(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.api import ServiceConfig
+    from repro.service.http import ServiceHTTPServer
+
+    config = ServiceConfig(
+        store_path=args.db,
+        n_workers=args.workers,
+        walks_per_job=args.walks,
+        max_queue_depth=args.queue_depth,
+        default_max_time=args.max_time,
+    )
+    server = ServiceHTTPServer(
+        (args.host, args.port), config=config, verbose=not args.quiet
+    )
+    print(
+        f"repro service on http://{args.host}:{server.port} "
+        f"(store={args.db}, workers={server.service.pool.n_workers}, "
+        f"queue_depth={args.queue_depth})"
+    )
+    # SIGTERM (the default `kill`, and what container runtimes send) drains
+    # exactly like Ctrl-C instead of killing mid-solve.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining workers ...")
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        server.stop(drain=True)
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import time as time_module
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def _call(method: str, path: str, body=None):
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30.0) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode("utf-8") or "{}")
+
+    body = {"order": args.order, "priority": args.priority}
+    if args.max_time is not None:
+        body["max_time"] = args.max_time
+    try:
+        status, payload = _call("POST", "/solve", body)
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+        return 1
+    if status == 503:
+        print(f"server busy: {payload.get('error')}", file=sys.stderr)
+        return 2
+    if status not in (200, 202):
+        print(f"error: {payload.get('error', payload)}", file=sys.stderr)
+        return 1
+    deadline = time_module.monotonic() + args.timeout
+    while status == 202:
+        if time_module.monotonic() > deadline:
+            print(
+                f"timed out after {args.timeout}s "
+                f"(request {payload.get('request_id')} still pending)",
+                file=sys.stderr,
+            )
+            return 1
+        time_module.sleep(0.2)
+        try:
+            status, payload = _call("GET", f"/result/{payload['request_id']}")
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: lost contact with {base}: {exc}", file=sys.stderr)
+            return 1
+    if status != 200 or not payload.get("solved"):
+        print(f"unsolved: {payload}", file=sys.stderr)
+        return 1
+    solution = payload["solution"]
+    print(
+        f"order {args.order} via {payload['source']} "
+        f"in {payload['elapsed']:.4f}s"
+    )
+    print("permutation (1-based):", [v + 1 for v in solution])
+    return 0
+
+
 _DISPATCH = {
     "solve": _cmd_solve,
     "parallel": _cmd_parallel,
@@ -175,6 +342,8 @@ _DISPATCH = {
     "enumerate": _cmd_enumerate,
     "experiment": _cmd_experiment,
     "list-experiments": _cmd_list_experiments,
+    "serve": _cmd_serve,
+    "request": _cmd_request,
 }
 
 

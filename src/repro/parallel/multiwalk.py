@@ -19,6 +19,8 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_module
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
@@ -30,6 +32,7 @@ from repro.core.params import ASParameters
 from repro.core.problem import PermutationProblem
 from repro.core.result import SolveResult
 from repro.exceptions import ParallelExecutionError
+from repro.parallel.liveness import DeadProcessDetector, poll_interval
 from repro.parallel.seeds import spawned_seeds
 
 __all__ = ["MultiWalkResult", "MultiWalkSolver"]
@@ -61,6 +64,9 @@ class MultiWalkResult:
     #: Empty on a clean run; non-empty results are still usable — ``best`` and
     #: ``results`` cover every walk that did report.
     missing_walks: List[int] = field(default_factory=list)
+    #: ``True`` when the run was cut short by SIGINT/SIGTERM: the workers were
+    #: drained gracefully and ``results`` holds their partial statistics.
+    interrupted: bool = False
 
     @property
     def solved(self) -> bool:
@@ -171,6 +177,15 @@ class MultiWalkSolver:
         a solved winner); when *no* walk reported, a
         :class:`~repro.exceptions.ParallelExecutionError` listing the missing
         walks is raised.
+
+        SIGINT/SIGTERM are handled gracefully while the walks run (when
+        called from the main thread): the first signal sets the shared stop
+        event, every worker exits at its next ``check_period`` poll and
+        reports its partial statistics, and the partial
+        :class:`MultiWalkResult` is returned with
+        :attr:`~MultiWalkResult.interrupted` set — no child processes are
+        leaked.  Workers that fail to drain within ``join_timeout`` are
+        terminated and listed in :attr:`~MultiWalkResult.missing_walks`.
         """
         seeds = (
             self._explicit_seeds[: self.n_workers]
@@ -221,41 +236,59 @@ class MultiWalkSolver:
             if max_time is not None
             else None
         )
-        poll = max(0.05, min(0.5, join_timeout / 10.0))
-        dead_since: Optional[float] = None
+        poll = poll_interval(join_timeout)
+        # Give the queue feeder a grace period to flush any result a worker
+        # enqueued just before exiting (shared with the service worker pool).
+        detector = DeadProcessDetector(grace=join_timeout)
         missing: List[int] = []
+        # Graceful SIGINT/SIGTERM: the first signal tells every walk to stop
+        # (they report partial stats and exit); workers that fail to drain
+        # within join_timeout are reaped as missing.  Signal handlers can
+        # only be installed from the main thread; elsewhere (e.g. a pool
+        # dispatcher) the default handling is left untouched.
+        signals_seen: List[int] = []
+        drain_deadline: Optional[float] = None
+        old_handlers = {}
+
+        def _on_signal(signum, frame):  # pragma: no cover - exercised via test
+            signals_seen.append(signum)
+            stop_event.set()
+
+        in_main_thread = threading.current_thread() is threading.main_thread()
+        if in_main_thread:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    old_handlers[signum] = signal.signal(signum, _on_signal)
+                except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                    pass
         try:
             while pending:
+                if signals_seen and drain_deadline is None:
+                    drain_deadline = time.perf_counter() + join_timeout
                 try:
                     kind, walk_index, payload = queue.get(timeout=poll)
                 except queue_module.Empty:
                     now = time.perf_counter()
-                    dead = sorted(
-                        idx for idx, proc in pending.items() if not proc.is_alive()
-                    )
+                    dead = detector.poll(pending, now)
                     if dead:
-                        # Give the queue feeder a grace period to flush any
-                        # result the worker enqueued just before exiting.
-                        if dead_since is None:
-                            dead_since = now
-                        elif now - dead_since > join_timeout:
-                            missing = dead
-                            if results:
-                                break  # degrade: keep the walks that reported
-                            raise ParallelExecutionError(
-                                f"walk(s) {dead} died without reporting "
-                                f"(no result within join_timeout={join_timeout}s)"
-                                + (
-                                    "; worker errors: " + "; ".join(errors)
-                                    if errors
-                                    else ""
-                                )
-                            )
-                    else:
-                        dead_since = None
-                    if deadline is not None and now > deadline:
+                        missing = dead
+                        if results or signals_seen:
+                            break  # degrade: keep the walks that reported
+                        raise ParallelExecutionError(
+                            f"walk(s) {dead} died without reporting "
+                            f"(no result within join_timeout={join_timeout}s)"
+                            + ("; worker errors: " + "; ".join(errors) if errors else "")
+                        )
+                    effective_deadline = deadline
+                    if drain_deadline is not None:
+                        effective_deadline = (
+                            min(deadline, drain_deadline)
+                            if deadline is not None
+                            else drain_deadline
+                        )
+                    if effective_deadline is not None and now > effective_deadline:
                         missing = sorted(pending)
-                        if results:
+                        if results or signals_seen:
                             break  # degrade: keep the walks that reported
                         raise ParallelExecutionError(
                             f"walk(s) {missing} missed the deadline "
@@ -264,26 +297,38 @@ class MultiWalkSolver:
                         )
                     continue
                 pending.pop(walk_index, None)
-                dead_since = None
                 if kind == "ok":
                     results.append(SolveResult.from_dict(payload))
                 else:  # pragma: no cover - defensive
                     errors.append(f"walk {walk_index}: {payload}")
         finally:
-            # On success this is the normal join; on error it also tells the
-            # surviving walks to stop before reaping them.
+            # On success this is the normal join; on error or interrupt it
+            # also tells the surviving walks to stop before reaping them.
             stop_event.set()
             for proc in workers:
                 proc.join(timeout=join_timeout if not pending else 0.1)
                 if proc.is_alive():
                     proc.terminate()
+            if in_main_thread:
+                for signum, handler in old_handlers.items():
+                    signal.signal(signum, handler)
         elapsed = time.perf_counter() - start
 
         if not results:
+            if signals_seen:
+                raise ParallelExecutionError(
+                    f"interrupted by signal {signals_seen[0]} before any walk reported"
+                )
             raise ParallelExecutionError(
                 "every worker failed: " + "; ".join(errors) if errors else "no results"
             )
         best = SolveResult.best_of(results)
         return MultiWalkResult(
-            best, results, len(workers), elapsed, list(seeds), missing_walks=missing
+            best,
+            results,
+            len(workers),
+            elapsed,
+            list(seeds),
+            missing_walks=missing,
+            interrupted=bool(signals_seen),
         )

@@ -1,0 +1,487 @@
+"""The :class:`SolverService` facade: store -> construction -> scheduler -> pool.
+
+A request for "a Costas array of order n" flows through three tiers, cheapest
+first:
+
+1. **Store** — a previously solved (or symmetry-equivalent) instance answers
+   from SQLite in microseconds.
+2. **Construction** — orders with a Welch / Lempel / Golomb construction
+   (:mod:`repro.costas.constructions`) are answered algebraically and the
+   result is inserted into the store, so the search tier never sees them.
+3. **Search** — everything else is admitted to the coalescing scheduler and
+   solved by the long-lived worker pool; the solution is inserted into the
+   store on the way out, upgrading all future requests for its symmetry class
+   to tier 1.
+
+Every submission returns a :class:`ServiceRequest` whose ``future`` resolves
+to a :class:`ServiceResponse`; ``submit()``/``result()``/``cancel()``/
+``stats()`` are the whole surface the HTTP layer needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import CancelledError, Future, InvalidStateError
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.costas.constructions import available_constructions, construct
+from repro.exceptions import ConstructionError, ReproError, SolverError
+from repro.service.scheduler import Job, RequestScheduler, Ticket
+from repro.service.store import SolutionStore
+from repro.service.workers import PoolJobHandle, WorkerPool
+
+__all__ = ["ServiceConfig", "ServiceRequest", "ServiceResponse", "SolverService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`SolverService` instance."""
+
+    store_path: str = ":memory:"
+    n_workers: Optional[int] = None
+    max_queue_depth: int = 256
+    #: Independent walks per search-tier job (first past the post).
+    walks_per_job: int = 1
+    #: Default per-walk wall-clock budget (seconds); ``None`` = unbounded.
+    default_max_time: Optional[float] = 300.0
+    #: Disable tiers globally (benchmarks use these to build the naive rival).
+    use_store: bool = True
+    use_constructions: bool = True
+    seed_root: Optional[int] = None
+    mp_context: Optional[str] = None
+
+
+@dataclass
+class ServiceResponse:
+    """Terminal outcome of one request."""
+
+    order: int
+    kind: str
+    solution: Optional[np.ndarray]
+    source: str  # "store" | "construction" | "search"
+    solved: bool
+    elapsed: float
+    request_id: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "order": self.order,
+            "solved": self.solved,
+            "source": self.source,
+            "solution": None
+            if self.solution is None
+            else [int(v) for v in self.solution],
+            "elapsed": self.elapsed,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ServiceRequest:
+    """Client-side handle: a future plus enough identity to cancel it."""
+
+    request_id: str
+    order: int
+    kind: str
+    future: Future
+    ticket: Optional[Ticket] = None
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+    def result(self, timeout: Optional[float] = None) -> ServiceResponse:
+        return self.future.result(timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class SolverService:
+    """Solver-as-a-service: persistent store, coalescing, warm workers.
+
+    Thread-safe; designed to sit behind the threaded HTTP front-end of
+    :mod:`repro.service.http` but equally usable in-process::
+
+        with SolverService(ServiceConfig(store_path="solutions.db")) as svc:
+            response = svc.submit(18).result(timeout=600)
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.store = SolutionStore(self.config.store_path)
+        self.scheduler = RequestScheduler(
+            max_depth=self.config.max_queue_depth,
+            on_cancel_running=self._abort_running_job,
+        )
+        self.pool = WorkerPool(
+            self.config.n_workers,
+            mp_context=self.config.mp_context,
+            seed_root=self.config.seed_root,
+        )
+        self._lock = threading.Lock()
+        self._requests: Dict[str, ServiceRequest] = {}
+        self._req_counter = itertools.count(1)
+        #: scheduler Job -> pool handle, for cancellation of running jobs.
+        self._job_handles: Dict[int, PoolJobHandle] = {}
+        self._dispatch_thread: Optional[threading.Thread] = None
+        # One permit per concurrently-dispatched job: jobs stay *queued in the
+        # scheduler* (where they count toward max_depth and remain
+        # coalescable/cancellable) until a worker slot frees up, instead of
+        # draining into the pool's opaque mp queue.  Each job occupies
+        # walks_per_job workers, so the permit count is jobs, not workers.
+        self._slots = threading.Semaphore(
+            max(1, self.pool.n_workers // max(1, self.config.walks_per_job))
+        )
+        self._closed = False
+        self._started_at = time.time()
+        self._immediate = {"store": 0, "construction": 0}
+        self._searches = 0
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the pool and the scheduler->pool dispatch thread (idempotent)."""
+        with self._lock:
+            if self._dispatch_thread is not None:
+                return
+            self.pool.start()
+            self._dispatch_thread = threading.Thread(
+                target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
+            )
+            self._dispatch_thread.start()
+
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Shut down: refuse new requests, drain or abort, release everything."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.scheduler.close()
+        if self._dispatch_thread is not None:
+            self._dispatch_thread.join(timeout=5.0)
+        self.pool.shutdown(drain=drain, timeout=timeout)
+        # Fail whatever is still unresolved so clients never hang.  A future
+        # may legitimately resolve between the snapshot and here (a straggler
+        # collector callback), so losing that race is fine.
+        with self._lock:
+            pending = [r for r in self._requests.values() if not r.future.done()]
+        for request in pending:
+            try:
+                request.future.set_exception(SolverError("service shut down"))
+            except InvalidStateError:
+                pass
+        self.store.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SolverService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- submit
+    def submit(
+        self,
+        order: int,
+        *,
+        kind: str = "costas",
+        priority: int = 0,
+        max_time: Optional[float] = None,
+        use_store: Optional[bool] = None,
+        use_constructions: Optional[bool] = None,
+    ) -> ServiceRequest:
+        """Submit one solve request; returns immediately with a future.
+
+        Store and construction hits resolve the future before ``submit``
+        returns; search-tier requests resolve when the (possibly shared)
+        solve finishes.  Raises
+        :class:`~repro.service.scheduler.SchedulerSaturatedError` when the
+        search queue is full.
+
+        ``use_store=False`` opts this request out of being *answered* from
+        the store (a fresh solve is wanted); whether results are *inserted*
+        is service policy (``config.use_store``) on every tier, so a bypass
+        request still warms the store for everyone else.
+        """
+        if self._closed:
+            raise SolverError("service is closed")
+        if kind != "costas":
+            raise SolverError(f"unsupported problem kind {kind!r}")
+        if order < 3:
+            raise SolverError(f"order must be >= 3, got {order}")
+        self.start()
+        request_id = f"r{next(self._req_counter)}"
+        future: Future = Future()
+        request = ServiceRequest(request_id=request_id, order=order, kind=kind, future=future)
+        with self._lock:
+            self._requests[request_id] = request
+            self._evict_settled_locked()
+        start = time.perf_counter()
+
+        lookup_store = self.config.use_store if use_store is None else use_store
+        try_construct = (
+            self.config.use_constructions
+            if use_constructions is None
+            else use_constructions
+        )
+
+        # Tier 1: the persistent store (answers symmetry classes).
+        if lookup_store:
+            cached = self.store.get(kind, order)
+            if cached is not None:
+                self._resolve(
+                    request, cached, source="store", solved=True, start=start
+                )
+                return request
+
+        # Tier 2: algebraic constructions.
+        if try_construct and available_constructions(order):
+            try:
+                array = construct(order)
+            except ConstructionError:  # pragma: no cover - listed but failed
+                array = None
+            if array is not None:
+                solution = array.to_array()
+                if self.config.use_store:
+                    self.store.insert(kind, solution, source="construction")
+                with self._lock:
+                    self._immediate["construction"] += 1
+                self._resolve(
+                    request, solution, source="construction", solved=True, start=start
+                )
+                return request
+
+        # Tier 3: coalesced search on the warm pool.
+        payload = {
+            "kind": kind,
+            "order": int(order),
+            "params": None,
+            "max_time": max_time if max_time is not None else self.config.default_max_time,
+            "model_options": {},
+        }
+        key = self._instance_key(kind, order, payload)
+        try:
+            ticket = self.scheduler.submit(key, payload, priority=priority)
+        except ReproError:
+            with self._lock:
+                self._requests.pop(request_id, None)
+            raise
+        except RuntimeError as exc:
+            # The scheduler closed between our _closed check and here (a
+            # request racing close()); don't leak a never-resolving entry.
+            with self._lock:
+                self._requests.pop(request_id, None)
+            raise SolverError("service is closed") from exc
+        request.ticket = ticket
+        ticket.future.add_done_callback(
+            lambda fut: self._on_ticket_done(request, fut, start)
+        )
+        return request
+
+    #: Completed requests retained for ``GET /result/<id>``; beyond this the
+    #: oldest settled ones are evicted so a long-lived server stays bounded.
+    _MAX_RETAINED_REQUESTS = 10_000
+
+    def _evict_settled_locked(self) -> None:
+        if len(self._requests) <= self._MAX_RETAINED_REQUESTS:
+            return
+        for request_id in list(self._requests):
+            if len(self._requests) <= self._MAX_RETAINED_REQUESTS:
+                break
+            if self._requests[request_id].future.done():
+                del self._requests[request_id]
+
+    @staticmethod
+    def _instance_key(kind: str, order: int, payload: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Identity under which concurrent requests coalesce."""
+        return (kind, int(order), payload.get("max_time"))
+
+    def _resolve(
+        self,
+        request: ServiceRequest,
+        solution: Optional[np.ndarray],
+        *,
+        source: str,
+        solved: bool,
+        start: float,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if source == "store":
+            with self._lock:
+                self._immediate["store"] += 1
+        response = ServiceResponse(
+            order=request.order,
+            kind=request.kind,
+            solution=solution,
+            source=source,
+            solved=solved,
+            elapsed=time.perf_counter() - start,
+            request_id=request.request_id,
+            detail=detail or {},
+        )
+        if not request.future.done():
+            request.future.set_result(response)
+
+    def _on_ticket_done(self, request: ServiceRequest, fut: Future, start: float) -> None:
+        """Scheduler ticket resolved (from the pool collector thread)."""
+        if request.future.done():
+            return
+        if fut.cancelled():
+            request.future.cancel()
+            return
+        exc = fut.exception()
+        if exc is not None:
+            request.future.set_exception(exc)
+            return
+        outcome: Dict[str, Any] = fut.result()
+        self._resolve(
+            request,
+            outcome.get("solution"),
+            source="search",
+            solved=outcome.get("solved", False),
+            start=start,
+            detail=outcome.get("detail", {}),
+        )
+
+    # ----------------------------------------------------------------- dispatch
+    def _dispatch_loop(self) -> None:
+        """Move jobs from the scheduler onto the worker pool, slot-gated."""
+        while True:
+            if not self._slots.acquire(timeout=0.2):
+                if self.scheduler.closed:
+                    return
+                continue
+            job = self.scheduler.next_job(timeout=0.2)
+            if job is None:
+                self._slots.release()
+                if self.scheduler.closed:
+                    return
+                continue
+            self._searches += 1
+            try:
+                handle = self.pool.submit(
+                    job.payload,
+                    walks=self.config.walks_per_job,
+                    on_done=lambda h, job=job: self._on_pool_done(job, h),
+                )
+            except ReproError as exc:
+                self._slots.release()
+                self.scheduler.fail(job, exc)
+                continue
+            with self._lock:
+                self._job_handles[id(job)] = handle
+            # A cancellation that landed between next_job() and the handle
+            # registration above found nothing to abort; re-check now that
+            # the handle is visible so the walk doesn't run (for up to its
+            # whole time budget) with nobody waiting.
+            if not job.tickets:
+                self.pool.cancel(handle)
+
+    def _on_pool_done(self, job: Job, handle: PoolJobHandle) -> None:
+        """Pool collector callback: persist, then fan the result out."""
+        self._slots.release()
+        with self._lock:
+            self._job_handles.pop(id(job), None)
+        best = handle.best
+        if handle.cancelled and (best is None or not best.solved):
+            self.scheduler.fail(job, CancelledError())
+            return
+        if best is None:
+            self.scheduler.fail(
+                job,
+                SolverError(handle.failure or "search produced no result"),
+            )
+            return
+        solution = best.configuration if best.solved else None
+        if best.solved and self.config.use_store:
+            try:
+                self.store.insert(job.payload["kind"], solution, source="search")
+            except ReproError:  # pragma: no cover - invalid result guard
+                self.scheduler.fail(
+                    job, SolverError("search returned an invalid solution")
+                )
+                return
+        self.scheduler.complete(
+            job,
+            {
+                "solution": solution,
+                "solved": bool(best.solved),
+                "detail": {
+                    "iterations": int(best.iterations),
+                    "wall_time": float(best.wall_time),
+                    "stop_reason": best.stop_reason,
+                    "walks": handle.walks,
+                    "coalesced_width": job.width,
+                },
+            },
+        )
+
+    def _abort_running_job(self, job: Job) -> None:
+        """Scheduler callback: the last ticket of a running job was cancelled."""
+        with self._lock:
+            handle = self._job_handles.get(id(job))
+        if handle is not None:
+            self.pool.cancel(handle)
+
+    # ------------------------------------------------------------------ queries
+    def result(
+        self, request_id: str, timeout: Optional[float] = None
+    ) -> Optional[ServiceResponse]:
+        """Resolve a request id; ``None`` when the id is unknown.
+
+        Raises the underlying error for failed requests and
+        :class:`concurrent.futures.TimeoutError` when *timeout* elapses.
+        """
+        with self._lock:
+            request = self._requests.get(request_id)
+        if request is None:
+            return None
+        return request.result(timeout)
+
+    def request(self, request_id: str) -> Optional[ServiceRequest]:
+        with self._lock:
+            return self._requests.get(request_id)
+
+    def cancel(self, request_id: str) -> bool:
+        """Cancel a pending request; ``False`` if unknown or already settled."""
+        with self._lock:
+            request = self._requests.get(request_id)
+        if request is None or request.future.done():
+            return False
+        if request.ticket is not None:
+            return self.scheduler.cancel(request.ticket)
+        return request.future.cancel()
+
+    def stats(self) -> Dict[str, Any]:
+        """One JSON-friendly snapshot across store, scheduler and pool."""
+        with self._lock:
+            open_requests = sum(
+                1 for r in self._requests.values() if not r.future.done()
+            )
+            immediate = dict(self._immediate)
+            searches = self._searches
+        return {
+            "uptime": time.time() - self._started_at,
+            "open_requests": open_requests,
+            "immediate": immediate,
+            "searches_dispatched": searches,
+            "store": self.store.snapshot(),
+            "scheduler": self.scheduler.stats(),
+            "pool": self.pool.stats(),
+            "config": {
+                "n_workers": self.pool.n_workers,
+                "walks_per_job": self.config.walks_per_job,
+                "max_queue_depth": self.config.max_queue_depth,
+                "use_store": self.config.use_store,
+                "use_constructions": self.config.use_constructions,
+            },
+        }

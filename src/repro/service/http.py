@@ -1,0 +1,225 @@
+"""Stdlib-only JSON HTTP front-end for :class:`~repro.service.api.SolverService`.
+
+Endpoints
+---------
+``POST /solve``
+    Body ``{"order": 18, "kind": "costas", "priority": 0, "max_time": 60,
+    "wait": false}``.  Returns ``200`` with the full result when it resolved
+    immediately (store / construction tier, or ``wait=true``), else ``202``
+    with ``{"request_id": ..., "status": "pending"}``.  A saturated queue
+    answers ``503`` (backpressure made visible).
+``GET /result/<request_id>``
+    ``200`` with the result, ``202`` while pending, ``404`` for unknown ids,
+    ``499``-style ``409`` for cancelled requests.
+``POST /cancel/<request_id>``
+    Cancel a pending request.
+``GET /stats``
+    The combined store / scheduler / pool counters.
+``GET /healthz``
+    Liveness probe: ``{"status": "ok"}`` plus worker liveness.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no third-party web stack,
+per the repository's stdlib+NumPy dependency rule.  Each request runs on its
+own thread; :class:`SolverService` is thread-safe by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.service.api import ServiceConfig, SolverService
+from repro.service.scheduler import SchedulerSaturatedError
+
+__all__ = ["ServiceHTTPServer", "serve"]
+
+#: Upper bound on ``wait=true`` blocking, so a client cannot pin an HTTP
+#: thread forever.
+_MAX_WAIT_SECONDS = 600.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP request; the service lives on the server object."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # --------------------------------------------------------------- plumbing
+    def log_message(self, fmt: str, *args: Any) -> None:  # pragma: no cover
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # ---------------------------------------------------------------- routing
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            pool = service.pool.stats()
+            healthy = not service.closed and (
+                not pool["started"] or pool["alive_workers"] > 0
+            )
+            self._send_json(
+                200 if healthy else 503,
+                {"status": "ok" if healthy else "degraded", "pool": pool},
+            )
+        elif self.path == "/stats":
+            self._send_json(200, service.stats())
+        elif self.path.startswith("/result/"):
+            self._get_result(self.path[len("/result/") :])
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/solve":
+            self._post_solve()
+        elif self.path.startswith("/cancel/"):
+            request_id = self.path[len("/cancel/") :]
+            ok = self.server.service.cancel(request_id)
+            self._send_json(
+                200 if ok else 409,
+                {"request_id": request_id, "cancelled": ok},
+            )
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    # ---------------------------------------------------------------- handlers
+    def _post_solve(self) -> None:
+        payload = self._read_json()
+        if payload is None or "order" not in payload:
+            self._send_json(400, {"error": 'body must be JSON with an "order" field'})
+            return
+        try:
+            order = int(payload["order"])
+        except (TypeError, ValueError):
+            self._send_json(400, {"error": "order must be an integer"})
+            return
+        wait = bool(payload.get("wait", False))
+        try:
+            priority = int(payload.get("priority", 0))
+            max_time = payload.get("max_time")
+            max_time = float(max_time) if max_time is not None else None
+        except (TypeError, ValueError):
+            self._send_json(400, {"error": "priority/max_time must be numeric"})
+            return
+        try:
+            request = self.server.service.submit(
+                order,
+                kind=str(payload.get("kind", "costas")),
+                priority=priority,
+                max_time=max_time,
+                use_store=payload.get("use_store"),
+                use_constructions=payload.get("use_constructions"),
+            )
+        except SchedulerSaturatedError as exc:
+            self._send_json(503, {"error": str(exc), "retry": True})
+            return
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        if wait or request.done():
+            self._respond_with_result(request.request_id, wait=wait)
+            return
+        self._send_json(
+            202, {"request_id": request.request_id, "status": "pending"}
+        )
+
+    def _get_result(self, request_id: str) -> None:
+        self._respond_with_result(request_id, wait=False)
+
+    def _respond_with_result(self, request_id: str, *, wait: bool) -> None:
+        service = self.server.service
+        request = service.request(request_id)
+        if request is None:
+            self._send_json(404, {"error": f"unknown request id {request_id!r}"})
+            return
+        if not wait and not request.done():
+            self._send_json(202, {"request_id": request_id, "status": "pending"})
+            return
+        try:
+            response = request.result(timeout=_MAX_WAIT_SECONDS if wait else 0)
+        except CancelledError:
+            self._send_json(409, {"request_id": request_id, "status": "cancelled"})
+            return
+        except FutureTimeoutError:
+            self._send_json(202, {"request_id": request_id, "status": "pending"})
+            return
+        except ReproError as exc:
+            self._send_json(500, {"request_id": request_id, "error": str(exc)})
+            return
+        self._send_json(200, {"status": "done", **response.as_dict()})
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server owning (or borrowing) a :class:`SolverService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: Optional[SolverService] = None,
+        *,
+        config: Optional[ServiceConfig] = None,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self._owns_service = service is None
+        self.service = service if service is not None else SolverService(config)
+        self.verbose = verbose
+        self.service.start()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def start_background(self) -> None:
+        """Serve on a daemon thread (tests and embedded use)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop serving; shut the service down when this server created it."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._owns_service:
+            self.service.close(drain=drain)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    config: Optional[ServiceConfig] = None,
+    verbose: bool = True,
+) -> ServiceHTTPServer:
+    """Construct a started-but-not-serving server (caller runs ``serve_forever``)."""
+    return ServiceHTTPServer((host, port), config=config, verbose=verbose)

@@ -1,0 +1,293 @@
+"""Priority request queue with coalescing, backpressure and cancellation.
+
+This is the admission-control layer of the service.  It is deliberately
+engine-agnostic: a *job* is just a key (the instance identity), a payload (an
+opaque spec the worker pool understands) and a priority.  The scheduler's
+value is in what it does **not** let through:
+
+* **Coalescing** — concurrent requests for the same instance key attach to
+  one in-flight job (queued *or* already running) and all receive its result.
+  N identical requests trigger exactly one solve.
+* **Priority ordering** — higher priority pops first; a coalesced join with a
+  higher priority than the queued job *bumps* the job (lazily, via stale heap
+  entries), so a premium request never waits behind the batch queue.
+* **Bounded depth with explicit backpressure** — when ``max_depth`` distinct
+  jobs are queued, :meth:`RequestScheduler.submit` raises
+  :class:`SchedulerSaturatedError` instead of buffering unboundedly; callers
+  (the HTTP layer) translate that into *503 Retry later*.  Joins to an
+  existing job are always admitted — they add no work.
+* **Cancellation** — every request holds its own ticket; cancelling the last
+  ticket of a queued job removes the job, and cancelling the last ticket of a
+  running job fires the ``on_cancel_running`` callback so the worker pool can
+  abort the walk.
+
+Threading model: all state is guarded by one lock; consumers block on a
+condition in :meth:`next_job`.  Futures are
+:class:`concurrent.futures.Future`, so callers can wait with timeouts or add
+callbacks without this module caring which.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = ["Job", "RequestScheduler", "SchedulerSaturatedError", "Ticket"]
+
+
+class SchedulerSaturatedError(ReproError, RuntimeError):
+    """The queue is at ``max_depth``; the caller must retry later (backpressure)."""
+
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, CANCELLED = "queued", "running", "done", "cancelled"
+
+
+@dataclass
+class Job:
+    """One unit of solving work, shared by every coalesced ticket."""
+
+    key: Tuple[Any, ...]
+    payload: Dict[str, Any]
+    priority: int
+    seqno: int
+    state: str = QUEUED
+    tickets: List["Ticket"] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        """Number of requests currently attached (the coalescing width)."""
+        return len(self.tickets)
+
+
+@dataclass
+class Ticket:
+    """One request's handle on a (possibly shared) job."""
+
+    job: Job
+    future: Future = field(default_factory=Future)
+    cancelled: bool = False
+
+    @property
+    def key(self) -> Tuple[Any, ...]:
+        return self.job.key
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the job's outcome (raises its exception on failure)."""
+        return self.future.result(timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class RequestScheduler:
+    """Coalescing priority queue between the facade and the worker pool.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of *distinct queued* jobs (running jobs and coalesced
+        joins do not count).  ``None`` disables backpressure.
+    on_cancel_running:
+        Callback invoked (outside the lock) with a :class:`Job` whose last
+        ticket was cancelled while the job was running; the pool uses it to
+        abort the walk.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: Optional[int] = None,
+        on_cancel_running: Optional[Callable[[Job], None]] = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1 or None, got {max_depth}")
+        self.max_depth = max_depth
+        self.on_cancel_running = on_cancel_running
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, Job]] = []  # (-priority, seqno, job)
+        self._inflight: Dict[Tuple[Any, ...], Job] = {}  # QUEUED or RUNNING
+        self._queued_count = 0
+        self._seq = itertools.count()
+        self._closed = False
+        # Monotonic counters for stats().
+        self._submitted = 0
+        self._coalesced = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled_jobs = 0
+
+    # ---------------------------------------------------------------- producer
+    def submit(
+        self,
+        key: Tuple[Any, ...],
+        payload: Dict[str, Any],
+        *,
+        priority: int = 0,
+    ) -> Ticket:
+        """Admit a request; coalesce onto an in-flight job when one exists.
+
+        Raises :class:`SchedulerSaturatedError` when a *new* job would exceed
+        ``max_depth``, and ``RuntimeError`` after :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._submitted += 1
+            job = self._inflight.get(key)
+            if job is not None:
+                ticket = Ticket(job)
+                job.tickets.append(ticket)
+                self._coalesced += 1
+                if job.state == QUEUED and priority > job.priority:
+                    # Bump: re-push with the stronger priority; the old heap
+                    # entry becomes stale and is skipped on pop.
+                    job.priority = priority
+                    heapq.heappush(self._heap, (-priority, next(self._seq), job))
+                    self._available.notify()
+                return ticket
+            if self.max_depth is not None and self._queued_count >= self.max_depth:
+                self._rejected += 1
+                raise SchedulerSaturatedError(
+                    f"request queue is full ({self._queued_count} jobs queued, "
+                    f"max_depth={self.max_depth}); retry later"
+                )
+            job = Job(key=key, payload=dict(payload), priority=priority, seqno=next(self._seq))
+            ticket = Ticket(job)
+            job.tickets.append(ticket)
+            self._inflight[key] = job
+            self._queued_count += 1
+            heapq.heappush(self._heap, (-job.priority, job.seqno, job))
+            self._available.notify()
+        return ticket
+
+    # ---------------------------------------------------------------- consumer
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the highest-priority queued job, blocking up to *timeout*.
+
+        Returns ``None`` on timeout or once the scheduler is closed and
+        drained.  The returned job is atomically marked RUNNING.
+        """
+        with self._lock:
+            while True:
+                job = self._pop_locked()
+                if job is not None:
+                    job.state = RUNNING
+                    self._queued_count -= 1
+                    return job
+                if self._closed:
+                    return None
+                if not self._available.wait(timeout=timeout):
+                    return None
+
+    def _pop_locked(self) -> Optional[Job]:
+        while self._heap:
+            neg_priority, _, job = heapq.heappop(self._heap)
+            if job.state != QUEUED or -neg_priority != job.priority:
+                continue  # cancelled job, or stale entry from a priority bump
+            return job
+        return None
+
+    # ------------------------------------------------------------- completion
+    def complete(self, job: Job, result: Any) -> None:
+        """Resolve every ticket of *job* with *result*."""
+        with self._lock:
+            tickets = self._settle_locked(job, DONE)
+            self._completed += 1
+        for ticket in tickets:
+            if not ticket.future.done():
+                ticket.future.set_result(result)
+
+    def fail(self, job: Job, exc: BaseException) -> None:
+        """Fail every ticket of *job* with *exc*."""
+        with self._lock:
+            tickets = self._settle_locked(job, DONE)
+            self._failed += 1
+        for ticket in tickets:
+            if not ticket.future.done():
+                ticket.future.set_exception(exc)
+
+    def _settle_locked(self, job: Job, state: str) -> List[Ticket]:
+        job.state = state
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        return list(job.tickets)
+
+    # ------------------------------------------------------------ cancellation
+    def cancel(self, ticket: Ticket) -> bool:
+        """Detach *ticket*; cancel its job when it was the last one attached.
+
+        Returns ``True`` when the ticket was still pending (its future is then
+        cancelled); ``False`` when the job had already settled.
+        """
+        notify: Optional[Job] = None
+        with self._lock:
+            job = ticket.job
+            if ticket.cancelled or job.state in (DONE, CANCELLED):
+                return False
+            ticket.cancelled = True
+            job.tickets.remove(ticket)
+            if not job.tickets:
+                if job.state == QUEUED:
+                    job.state = CANCELLED  # lazily skipped by _pop_locked
+                    self._queued_count -= 1
+                    self._cancelled_jobs += 1
+                    if self._inflight.get(job.key) is job:
+                        del self._inflight[job.key]
+                elif job.state == RUNNING:
+                    # The pool decides whether to abort.  Remove the job from
+                    # the coalescing map immediately: a fresh request arriving
+                    # after this point must trigger a *new* solve, not attach
+                    # to a walk that is about to be aborted and inherit a
+                    # CancelledError it never asked for.
+                    if self._inflight.get(job.key) is job:
+                        del self._inflight[job.key]
+                    notify = job
+        ticket.future.cancel()
+        if notify is not None and self.on_cancel_running is not None:
+            self.on_cancel_running(notify)
+        return True
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Refuse new submissions and wake blocked consumers."""
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending_jobs(self) -> int:
+        """Distinct jobs queued (not yet handed to the pool)."""
+        with self._lock:
+            return self._queued_count
+
+    def inflight_jobs(self) -> int:
+        """Distinct jobs queued or running."""
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> Dict[str, int]:
+        """Monotonic counters plus current depth."""
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "coalesced": self._coalesced,
+                "rejected": self._rejected,
+                "completed": self._completed,
+                "failed": self._failed,
+                "cancelled_jobs": self._cancelled_jobs,
+                "queued": self._queued_count,
+                "inflight": len(self._inflight),
+                "max_depth": self.max_depth if self.max_depth is not None else -1,
+            }

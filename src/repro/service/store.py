@@ -1,0 +1,310 @@
+"""SQLite-backed persistent solution store with symmetry-class keying.
+
+The Costas Array Problem has a dihedral symmetry group of order 8
+(:mod:`repro.costas.symmetry`): whenever a solver finds one array, seven more
+come for free.  The store exploits this by keying every solution on
+``(problem_kind, n, canonical_form)`` — the lexicographically smallest element
+of the symmetry orbit — so
+
+* two processes that independently solve symmetry-equivalent arrays insert
+  **one** row (``INSERT OR IGNORE`` on the canonical key), and
+* a read for order ``n`` can expand any of the 8 variants of a stored row on
+  demand (:meth:`SolutionStore.get` with ``variant=``), answering the whole
+  equivalence class from a single stored array.
+
+Concurrency
+-----------
+The database is opened in WAL mode with a busy timeout, which makes
+concurrent readers and a writer from *different processes* safe (this is the
+deployment shape of the service: HTTP threads read while pool callbacks
+write).  Within a process, connections are borrowed from a small free-list
+pool — ``ThreadingHTTPServer`` spawns a fresh thread per request, so
+thread-local connections would pay full connection setup on every request
+and leak one connection per dead thread.  Statistics (hits / misses /
+inserts / duplicates) are tracked per :class:`SolutionStore` instance and
+aggregate per-row hit counts persist in the table itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.costas.array import is_costas
+from repro.costas.symmetry import all_symmetries, canonical_form
+from repro.exceptions import ReproError
+
+__all__ = ["SolutionStore", "StoreStats", "StoreError"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS solutions (
+    problem_kind TEXT    NOT NULL,
+    n            INTEGER NOT NULL,
+    canonical    TEXT    NOT NULL,
+    solution     TEXT    NOT NULL,
+    source       TEXT    NOT NULL,
+    created_at   REAL    NOT NULL,
+    hits         INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (problem_kind, n, canonical)
+);
+CREATE INDEX IF NOT EXISTS idx_solutions_kind_n ON solutions (problem_kind, n);
+"""
+
+
+class StoreError(ReproError, ValueError):
+    """An invalid solution or key was handed to the solution store."""
+
+
+@dataclass
+class StoreStats:
+    """Counters of one :class:`SolutionStore` instance (not the whole file)."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    duplicates: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+def _encode(perm: Sequence[int] | np.ndarray) -> str:
+    return json.dumps([int(v) for v in perm], separators=(",", ":"))
+
+
+def _decode(text: str) -> np.ndarray:
+    return np.asarray(json.loads(text), dtype=np.int64)
+
+
+class SolutionStore:
+    """Persistent, process-safe store of solved instances.
+
+    Parameters
+    ----------
+    path:
+        SQLite database file; ``":memory:"`` gives an ephemeral store (single
+        connection, so only thread-safe through the internal lock).
+    validate:
+        When ``True`` (default) Costas solutions are re-checked with
+        :func:`repro.costas.array.is_costas` before insertion, so a corrupted
+        worker can never poison the store.
+    """
+
+    def __init__(self, path: str | os.PathLike = ":memory:", *, validate: bool = True) -> None:
+        self.path = str(path)
+        self.validate = validate
+        self.stats = StoreStats()
+        self._stats_lock = threading.Lock()
+        self._memory_conn: Optional[sqlite3.Connection] = None
+        # A ":memory:" database lives on a single shared connection, which
+        # sqlite3 only tolerates across threads when access is serialised.
+        self._conn_lock = threading.Lock()
+        # File-backed stores borrow from a free-list pool instead: HTTP
+        # handler threads are born and die per request, so thread-local
+        # connections would be created (schema script, PRAGMAs) on every
+        # request and leaked with every dead thread.
+        self._pool: List[sqlite3.Connection] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        if self.path == ":memory:":
+            self._memory_conn = self._connect()
+        else:
+            # Create the schema eagerly so concurrent openers find it, and
+            # seed the pool with the connection.
+            self._pool.append(self._connect())
+
+    # ------------------------------------------------------------ connections
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0, check_same_thread=False)
+        conn.execute("PRAGMA busy_timeout = 30000")
+        if self.path != ":memory:":
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+        conn.executescript(_SCHEMA)
+        conn.commit()
+        return conn
+
+    @contextmanager
+    def _borrow(self) -> Iterator[sqlite3.Connection]:
+        """Borrow a connection: the serialised shared one for ``:memory:``,
+        a pooled (or freshly opened) one for file-backed stores."""
+        if self._memory_conn is not None:
+            with self._conn_lock:
+                yield self._memory_conn
+            return
+        with self._pool_lock:
+            conn = self._pool.pop() if self._pool else None
+        if conn is None:
+            conn = self._connect()
+        try:
+            yield conn
+        finally:
+            with self._pool_lock:
+                if self._closed:
+                    conn.close()
+                else:
+                    self._pool.append(conn)
+
+    def close(self) -> None:
+        """Close this instance's connections (the file remains valid)."""
+        if self._memory_conn is not None:
+            self._memory_conn.close()
+            self._memory_conn = None
+            return
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+    def __enter__(self) -> "SolutionStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- operations
+    def insert(
+        self,
+        problem_kind: str,
+        perm: Sequence[int] | np.ndarray,
+        *,
+        source: str = "search",
+    ) -> bool:
+        """Insert a solution; returns ``True`` when its class was new.
+
+        The permutation is canonicalised first, so all eight symmetry variants
+        of one array map to the same row and concurrent inserters of
+        equivalent arrays cannot double-count: ``INSERT OR IGNORE`` on the
+        primary key makes exactly one of them win.
+        """
+        arr = np.asarray(perm, dtype=np.int64)
+        if problem_kind == "costas" and self.validate and not is_costas(arr):
+            raise StoreError(
+                f"refusing to store a non-Costas permutation of order {arr.size}"
+            )
+        canonical = canonical_form(arr)
+        with self._borrow() as conn:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO solutions "
+                "(problem_kind, n, canonical, solution, source, created_at, hits) "
+                "VALUES (?, ?, ?, ?, ?, ?, 0)",
+                (
+                    problem_kind,
+                    int(arr.size),
+                    _encode(canonical),
+                    _encode(arr),
+                    source,
+                    time.time(),
+                ),
+            )
+            conn.commit()
+        inserted = cursor.rowcount == 1
+        with self._stats_lock:
+            if inserted:
+                self.stats.inserts += 1
+            else:
+                self.stats.duplicates += 1
+        return inserted
+
+    def get(
+        self,
+        problem_kind: str,
+        n: int,
+        *,
+        variant: Optional[int] = None,
+        count_hit: bool = True,
+    ) -> Optional[np.ndarray]:
+        """Any stored solution of order *n*, or ``None``.
+
+        ``variant`` (0-7) expands the requested dihedral image of the stored
+        canonical representative on demand — the read-side half of the
+        symmetry-class keying (aligned with
+        :data:`repro.costas.symmetry.SYMMETRY_NAMES`).
+        """
+        with self._borrow() as conn:
+            row = conn.execute(
+                "SELECT canonical, solution FROM solutions "
+                "WHERE problem_kind = ? AND n = ? ORDER BY hits DESC, canonical LIMIT 1",
+                (problem_kind, int(n)),
+            ).fetchone()
+            if row is not None and count_hit:
+                conn.execute(
+                    "UPDATE solutions SET hits = hits + 1 "
+                    "WHERE problem_kind = ? AND n = ? AND canonical = ?",
+                    (problem_kind, int(n), row[0]),
+                )
+                conn.commit()
+        with self._stats_lock:
+            if row is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        if row is None:
+            return None
+        solution = _decode(row[1])
+        if variant is None:
+            return solution
+        return all_symmetries(solution)[variant % 8]
+
+    def contains_class(
+        self, problem_kind: str, perm: Sequence[int] | np.ndarray
+    ) -> bool:
+        """Whether the symmetry class of *perm* is already stored."""
+        arr = np.asarray(perm, dtype=np.int64)
+        canonical = _encode(canonical_form(arr))
+        with self._borrow() as conn:
+            row = conn.execute(
+                "SELECT 1 FROM solutions "
+                "WHERE problem_kind = ? AND n = ? AND canonical = ?",
+                (problem_kind, int(arr.size), canonical),
+            ).fetchone()
+        return row is not None
+
+    def count(self, problem_kind: Optional[str] = None, n: Optional[int] = None) -> int:
+        """Number of stored symmetry classes, optionally filtered."""
+        query = "SELECT COUNT(*) FROM solutions"
+        clauses, params = [], []
+        if problem_kind is not None:
+            clauses.append("problem_kind = ?")
+            params.append(problem_kind)
+        if n is not None:
+            clauses.append("n = ?")
+            params.append(int(n))
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        with self._borrow() as conn:
+            (count,) = conn.execute(query, params).fetchone()
+        return int(count)
+
+    def orders(self, problem_kind: str) -> List[int]:
+        """Distinct orders stored for *problem_kind*, ascending."""
+        with self._borrow() as conn:
+            rows = conn.execute(
+                "SELECT DISTINCT n FROM solutions WHERE problem_kind = ? ORDER BY n",
+                (problem_kind,),
+            ).fetchall()
+        return [int(r[0]) for r in rows]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly stats: instance counters plus persistent totals."""
+        with self._borrow() as conn:
+            (rows, total_hits) = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM solutions"
+            ).fetchone()
+        with self._stats_lock:
+            counters = self.stats.as_dict()
+        return {
+            "path": self.path,
+            "stored_classes": int(rows),
+            "persistent_hits": int(total_hits),
+            **counters,
+        }

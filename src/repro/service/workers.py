@@ -1,0 +1,477 @@
+"""Long-lived process worker pool for the solver service.
+
+:class:`~repro.parallel.multiwalk.MultiWalkSolver` pays process spawn, module
+import and (on first use) C-kernel compilation on *every* request.  The pool
+amortises all of that: ``n_workers`` processes are started **once**, block on
+a shared job queue, run the incremental Adaptive Search engine from PR 1, and
+push results back on a shared result queue.  A request therefore costs one
+queue round-trip instead of a fork.
+
+Per-walk control uses a dedicated ``multiprocessing.Event`` per worker slot
+(created before the processes start, so it works under both ``fork`` and
+``spawn``): a worker announces which job it picked up, the dispatcher records
+the slot, and cancelling the job simply sets that slot's event, which the
+engine observes through its ``stop_check`` hook.  Multi-walk jobs fan the same
+instance out to several slots with independent seeds; the first solved walk
+cancels its siblings, mirroring the paper's first-past-the-post multi-walk.
+
+Liveness reuses :class:`repro.parallel.liveness.DeadProcessDetector` (shared
+with the multi-walk solver): a worker that dies mid-job is detected, its slot
+respawned, and the walk requeued (bounded retries), so one OOM-killed child
+degrades a single request instead of wedging the service.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import AdaptiveSearch
+from repro.core.params import ASParameters
+from repro.core.result import SolveResult
+from repro.exceptions import ParallelExecutionError
+from repro.parallel.liveness import DeadProcessDetector, poll_interval
+
+__all__ = ["WorkerPool", "PoolJobHandle"]
+
+#: How many times a walk is requeued after its worker died before giving up.
+_MAX_WALK_RETRIES = 2
+
+_SENTINEL = ("__shutdown__", None)
+
+
+def _pool_worker(
+    worker_id: int,
+    job_queue,
+    result_queue,
+    cancel_event,
+    shutdown_event,
+    factory_registry: Dict[str, Callable[..., Any]],
+) -> None:
+    """Body of one long-lived worker process.
+
+    Loops forever: pull ``(job_id, walk_index, spec)``, announce the claim,
+    solve, report.  ``spec`` is a plain dict (picklable under ``spawn``):
+    ``{"kind", "order", "params": dict | None, "seed", "max_time", "model_options"}``.
+    """
+    while not shutdown_event.is_set():
+        try:
+            item = job_queue.get(timeout=0.2)
+        except queue_module.Empty:
+            continue
+        if item == _SENTINEL or item[0] == "__shutdown__":
+            break
+        job_id, walk_index, spec = item
+        cancel_event.clear()
+        result_queue.put(("started", worker_id, job_id, walk_index, None))
+        try:
+            factory = factory_registry[spec["kind"]]
+            problem = factory(spec["order"], **spec.get("model_options", {}))
+            params = (
+                ASParameters(**spec["params"])
+                if spec.get("params") is not None
+                else ASParameters.for_costas(spec["order"])
+            )
+            engine = AdaptiveSearch()
+            result = engine.solve(
+                problem,
+                seed=spec["seed"],
+                params=params,
+                stop_check=cancel_event.is_set,
+                max_time=spec.get("max_time"),
+            )
+            result.extra["worker_id"] = worker_id
+            result.extra["walk_index"] = walk_index
+            result_queue.put(("done", worker_id, job_id, walk_index, result.as_dict()))
+        except Exception as exc:  # pragma: no cover - defensive crash path
+            result_queue.put(("error", worker_id, job_id, walk_index, repr(exc)))
+
+
+def _costas_problem(order: int, **model_options):
+    from repro.models.costas import CostasProblem
+
+    return CostasProblem(order, **model_options)
+
+
+#: Problem factories available inside worker processes, by problem kind.
+#: Module-level so the registry itself never needs to cross the pipe.
+FACTORY_REGISTRY: Dict[str, Callable[..., Any]] = {"costas": _costas_problem}
+
+
+@dataclass
+class PoolJobHandle:
+    """Dispatcher-side bookkeeping of one in-flight pool job."""
+
+    job_id: int
+    spec: Dict[str, Any]
+    walks: int
+    on_done: Callable[["PoolJobHandle"], None]
+    results: List[SolveResult] = field(default_factory=list)
+    #: walk_index -> worker slot currently running it (claimed walks only).
+    running: Dict[int, int] = field(default_factory=dict)
+    #: walk_index -> retry count for walks whose worker died.
+    retries: Dict[int, int] = field(default_factory=dict)
+    outstanding: int = 0
+    cancelled: bool = False
+    settled: bool = False
+    failure: Optional[str] = None
+    submitted_at: float = 0.0
+
+    @property
+    def best(self) -> Optional[SolveResult]:
+        if not self.results:
+            return None
+        return SolveResult.best_of(self.results)
+
+    @property
+    def solved(self) -> bool:
+        return any(r.solved for r in self.results)
+
+
+class WorkerPool:
+    """Long-lived multiprocessing pool executing solve jobs.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count (default: CPU count).
+    mp_context:
+        ``multiprocessing`` start method (``fork`` on POSIX by default).
+    seed_root:
+        Root for per-walk seed spawning; walks of distinct jobs get
+        independent seeds derived from a monotonically increasing stream.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        mp_context: Optional[str] = None,
+        seed_root: Optional[int] = None,
+    ) -> None:
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        if self.n_workers < 1:
+            raise ParallelExecutionError(f"n_workers must be >= 1, got {self.n_workers}")
+        if mp_context is None:
+            mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(mp_context)
+        self._job_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._shutdown_event = self._ctx.Event()
+        self._cancel_events = [self._ctx.Event() for _ in range(self.n_workers)]
+        self._procs: List[mp.process.BaseProcess] = []
+        self._lock = threading.RLock()
+        self._jobs: Dict[int, PoolJobHandle] = {}
+        self._job_ids = iter(range(1, 1 << 62))
+        self._seed_seq = np.random.SeedSequence(seed_root)
+        self._dispatcher: Optional[threading.Thread] = None
+        self._started = False
+        self._closing = False
+        self._jobs_done = 0
+        self._walks_run = 0
+        self._workers_respawned = 0
+
+    # ----------------------------------------------------------------- startup
+    def start(self) -> None:
+        """Spawn the worker processes and the collector thread (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for worker_id in range(self.n_workers):
+                self._procs.append(self._spawn(worker_id))
+            self._dispatcher = threading.Thread(
+                target=self._collect_loop, name="repro-pool-collector", daemon=True
+            )
+            self._dispatcher.start()
+
+    def _spawn(self, worker_id: int) -> mp.process.BaseProcess:
+        proc = self._ctx.Process(
+            target=_pool_worker,
+            args=(
+                worker_id,
+                self._job_queue,
+                self._result_queue,
+                self._cancel_events[worker_id],
+                self._shutdown_event,
+                FACTORY_REGISTRY,
+            ),
+            daemon=True,
+            name=f"repro-pool-worker-{worker_id}",
+        )
+        proc.start()
+        return proc
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(drain=False)
+
+    # ------------------------------------------------------------------ submit
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        *,
+        walks: int = 1,
+        on_done: Callable[[PoolJobHandle], None],
+    ) -> PoolJobHandle:
+        """Enqueue *spec* as one job fanned out over *walks* independent walks.
+
+        ``on_done`` fires exactly once from the collector thread when the job
+        settles (first solved walk wins and cancels its siblings; an unsolved
+        job settles when every walk reported).
+        """
+        if not self._started:
+            self.start()
+        if walks < 1:
+            raise ParallelExecutionError(f"walks must be >= 1, got {walks}")
+        with self._lock:
+            if self._closing:
+                raise ParallelExecutionError("worker pool is shutting down")
+            job_id = next(self._job_ids)
+            handle = PoolJobHandle(
+                job_id=job_id,
+                spec=dict(spec),
+                walks=walks,
+                on_done=on_done,
+                outstanding=walks,
+                submitted_at=time.perf_counter(),
+            )
+            self._jobs[job_id] = handle
+            seeds = self._next_seeds(walks)
+            base = dict(spec)
+            for walk_index, seed in enumerate(seeds):
+                walk_spec = dict(base)
+                walk_spec["seed"] = int(seed)
+                self._job_queue.put((job_id, walk_index, walk_spec))
+                self._walks_run += 1
+        return handle
+
+    def _next_seeds(self, count: int) -> List[int]:
+        children = self._seed_seq.spawn(count)
+        return [int(child.generate_state(1, dtype=np.uint64)[0] % (2**63)) for child in children]
+
+    # ------------------------------------------------------------------ cancel
+    def cancel(self, handle: PoolJobHandle) -> None:
+        """Abort a job: running walks are signalled, queued walks discarded.
+
+        The job still settles through ``on_done`` (with whatever results
+        arrived before the abort).
+        """
+        with self._lock:
+            if handle.settled:
+                return
+            handle.cancelled = True
+            for walk_index, worker_id in handle.running.items():
+                self._cancel_events[worker_id].set()
+
+    # ---------------------------------------------------------------- collector
+    def _collect_loop(self) -> None:
+        """Collector thread: route worker messages, watch liveness, respawn."""
+        detector = DeadProcessDetector(grace=5.0)
+        poll = poll_interval(5.0)
+        last_liveness = time.perf_counter()
+        while True:
+            if self._shutdown_event.is_set() and not self._jobs:
+                break
+            # Liveness must run even under a steady message stream from the
+            # healthy workers, or a worker that dies mid-job while its
+            # siblings stay busy would never be detected.
+            now = time.perf_counter()
+            if now - last_liveness >= poll:
+                last_liveness = now
+                self._check_liveness(detector)
+            try:
+                kind, worker_id, job_id, walk_index, payload = self._result_queue.get(
+                    timeout=poll
+                )
+            except queue_module.Empty:
+                continue
+            except (EOFError, OSError):  # pragma: no cover - queue torn down
+                break
+            with self._lock:
+                handle = self._jobs.get(job_id)
+            if handle is None:
+                # Late message for a settled job.  A late *claim* means a
+                # leftover queued walk (its job settled first): abort it so
+                # the slot frees up at the next stop_check instead of running
+                # a full solve nobody is waiting for.
+                if kind == "started":
+                    self._cancel_events[worker_id].set()
+                continue
+            if kind == "started":
+                self._on_started(handle, walk_index, worker_id)
+            elif kind == "done":
+                self._on_walk_done(handle, walk_index, worker_id, payload)
+            else:  # "error"
+                self._on_walk_error(handle, walk_index, worker_id, payload)
+
+    def _on_started(self, handle: PoolJobHandle, walk_index: int, worker_id: int) -> None:
+        with self._lock:
+            handle.running[walk_index] = worker_id
+            if handle.cancelled:
+                # Cancellation raced the claim: abort this walk now.
+                self._cancel_events[worker_id].set()
+
+    def _on_walk_done(
+        self, handle: PoolJobHandle, walk_index: int, worker_id: int, payload: Dict[str, Any]
+    ) -> None:
+        result = SolveResult.from_dict(payload)
+        settle = False
+        with self._lock:
+            handle.running.pop(walk_index, None)
+            stale_stop = (
+                result.stop_reason == "external_stop"
+                and not result.solved
+                and not handle.cancelled
+                and not handle.solved
+            )
+            if stale_stop and handle.retries.get(walk_index, 0) < _MAX_WALK_RETRIES:
+                # A stale cancel event (set for this slot's previous job just
+                # as it finished) aborted an innocent walk: requeue it.
+                handle.retries[walk_index] = handle.retries.get(walk_index, 0) + 1
+                walk_spec = dict(handle.spec)
+                walk_spec["seed"] = self._next_seeds(1)[0]
+                self._job_queue.put((handle.job_id, walk_index, walk_spec))
+                return
+            handle.results.append(result)
+            handle.outstanding -= 1
+            if result.solved and not handle.cancelled:
+                # First past the post: abort the sibling walks.
+                for other_walk, other_worker in handle.running.items():
+                    self._cancel_events[other_worker].set()
+            settle = handle.outstanding <= 0 or result.solved or handle.cancelled
+            if settle:
+                settle = self._settle_locked(handle)
+        if settle:
+            handle.on_done(handle)
+
+    def _on_walk_error(
+        self, handle: PoolJobHandle, walk_index: int, worker_id: int, payload: str
+    ) -> None:
+        settle = False
+        with self._lock:
+            handle.running.pop(walk_index, None)
+            handle.failure = payload
+            handle.outstanding -= 1
+            settle = handle.outstanding <= 0
+            if settle:
+                settle = self._settle_locked(handle)
+        if settle:
+            handle.on_done(handle)
+
+    def _settle_locked(self, handle: PoolJobHandle) -> bool:
+        """Mark *handle* settled exactly once; returns whether we won the race."""
+        if handle.settled:
+            return False
+        handle.settled = True
+        self._jobs.pop(handle.job_id, None)
+        self._jobs_done += 1
+        return True
+
+    def _check_liveness(self, detector: DeadProcessDetector) -> None:
+        """Respawn dead workers and requeue (or fail) the walks they carried."""
+        with self._lock:
+            alive_map = {i: proc for i, proc in enumerate(self._procs)}
+        if self._shutdown_event.is_set():
+            return
+        dead = detector.poll(alive_map)
+        if not dead:
+            return
+        to_settle: List[PoolJobHandle] = []
+        with self._lock:
+            for worker_id in dead:
+                self._procs[worker_id] = self._spawn(worker_id)
+                self._workers_respawned += 1
+                for handle in list(self._jobs.values()):
+                    for walk_index, running_worker in list(handle.running.items()):
+                        if running_worker != worker_id:
+                            continue
+                        handle.running.pop(walk_index, None)
+                        retries = handle.retries.get(walk_index, 0)
+                        if handle.cancelled:
+                            handle.outstanding -= 1
+                        elif retries < _MAX_WALK_RETRIES:
+                            handle.retries[walk_index] = retries + 1
+                            walk_spec = dict(handle.spec)
+                            walk_spec["seed"] = self._next_seeds(1)[0]
+                            self._job_queue.put((handle.job_id, walk_index, walk_spec))
+                        else:
+                            handle.failure = (
+                                f"worker {worker_id} died repeatedly on walk {walk_index}"
+                            )
+                            handle.outstanding -= 1
+                        if handle.outstanding <= 0 and self._settle_locked(handle):
+                            to_settle.append(handle)
+        for handle in to_settle:
+            handle.on_done(handle)
+
+    # ---------------------------------------------------------------- shutdown
+    def shutdown(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool.
+
+        ``drain=True`` waits (up to *timeout*) for in-flight jobs to settle
+        before stopping; ``drain=False`` aborts running walks immediately.
+        Always joins, then terminates stragglers — no leaked children.
+        """
+        with self._lock:
+            if not self._started:
+                return
+            self._closing = True
+            if not drain:
+                for handle in list(self._jobs.values()):
+                    handle.cancelled = True
+                for event in self._cancel_events:
+                    event.set()
+        deadline = time.perf_counter() + timeout
+        if drain:
+            while time.perf_counter() < deadline:
+                with self._lock:
+                    if not self._jobs:
+                        break
+                time.sleep(0.05)
+        self._shutdown_event.set()
+        for _ in self._procs:
+            try:
+                self._job_queue.put_nowait(_SENTINEL)
+            except Exception:  # pragma: no cover - full queue during teardown
+                break
+        for proc in self._procs:
+            proc.join(timeout=max(0.1, deadline - time.perf_counter()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=2.0)
+        # Fail any job that never settled (drain timeout or hard abort).
+        orphans: List[PoolJobHandle] = []
+        with self._lock:
+            for handle in list(self._jobs.values()):
+                if self._settle_locked(handle):
+                    handle.failure = handle.failure or "worker pool shut down"
+                    orphans.append(handle)
+        for handle in orphans:
+            handle.on_done(handle)
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "n_workers": self.n_workers,
+                "started": self._started,
+                "alive_workers": sum(1 for p in self._procs if p.is_alive()),
+                "inflight_jobs": len(self._jobs),
+                "jobs_done": self._jobs_done,
+                "walks_run": self._walks_run,
+                "workers_respawned": self._workers_respawned,
+            }

@@ -108,3 +108,89 @@ class TestConvenienceApi:
 
     def test_version_string(self):
         assert repro.__version__
+
+
+class TestConstructFirst:
+    def test_constructible_order_skips_search(self, capsys):
+        assert main(["solve", "10", "--construct-first"]) == 0
+        out = capsys.readouterr().out
+        assert "constructed algebraically" in out
+        assert "permutation (1-based)" in out
+
+    def test_construct_first_quiet(self, capsys):
+        assert main(["solve", "10", "--construct-first", "--quiet"]) == 0
+        out = capsys.readouterr().out.strip()
+        values = json.loads(out.replace("'", '"'))
+        assert sorted(values) == list(range(1, 11))
+        from repro.costas.array import is_costas as _is_costas
+
+        assert _is_costas([v - 1 for v in values])
+
+    def test_falls_back_to_search_when_no_construction(self, capsys):
+        # Order 8: 9 is not prime and 10 is not a prime power, and corner
+        # deletion from order 9 does not apply either way construct() tries it;
+        # if construct succeeds this test still passes through the search-free
+        # path, so pick the assertion accordingly.
+        from repro.costas.constructions import available_constructions
+
+        assert available_constructions(8) == []
+        code = main(["solve", "8", "--seed", "3", "--construct-first"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "permutation (1-based)" in out
+
+
+class TestEnumerateCrossCheck:
+    def test_matching_count_exits_zero(self, capsys):
+        assert main(["enumerate", "5"]) == 0
+        assert "matches enumeration" in capsys.readouterr().out
+
+    def test_mismatch_exits_nonzero(self, capsys, monkeypatch):
+        import repro.costas.database as db
+
+        # Poison the published table: enumeration now "differs" and the
+        # command must fail loudly (the table is a live validation).
+        monkeypatch.setitem(db.KNOWN_COSTAS_COUNTS, 5, 41)
+        assert main(["enumerate", "5"]) == 1
+        captured = capsys.readouterr()
+        assert "DIFFERS FROM" in captured.out
+        assert "error" in captured.err
+
+
+class TestServiceCommands:
+    def test_parses_serve_and_request(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "9000", "--db", ":memory:"])
+        assert args.command == "serve" and args.port == 9000 and args.db == ":memory:"
+        args = parser.parse_args(["request", "18", "--url", "http://h:1", "--priority", "2"])
+        assert args.order == 18 and args.url == "http://h:1" and args.priority == 2
+
+    def test_request_against_live_server(self, capsys, tmp_path):
+        from repro.service.api import ServiceConfig
+        from repro.service.http import ServiceHTTPServer
+
+        server = ServiceHTTPServer(
+            ("127.0.0.1", 0),
+            config=ServiceConfig(store_path=str(tmp_path / "cli.db"), n_workers=1),
+        )
+        server.start_background()
+        try:
+            code = main(
+                ["request", "12", "--url", f"http://127.0.0.1:{server.port}"]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "via construction" in out
+            assert "permutation (1-based)" in out
+            # Second request for a symmetry-equivalent instance: store hit.
+            code = main(
+                ["request", "12", "--url", f"http://127.0.0.1:{server.port}"]
+            )
+            out = capsys.readouterr().out
+            assert code == 0 and "via store" in out
+        finally:
+            server.stop(drain=False)
+
+    def test_request_unreachable_server(self, capsys):
+        assert main(["request", "12", "--url", "http://127.0.0.1:9", "--timeout", "1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err

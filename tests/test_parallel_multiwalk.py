@@ -165,3 +165,97 @@ class TestDeadWorkerDetection:
             solver.solve(max_time=0.5, join_timeout=0.5)
         assert time_module.perf_counter() - start < 30
         assert "deadline" in str(excinfo.value)
+
+
+class TestGracefulSignalDrain:
+    """SIGINT/SIGTERM during solve() must drain workers and return partial
+    results instead of leaking child processes."""
+
+    @pytest.mark.parametrize("signum_name", ["SIGINT", "SIGTERM"])
+    def test_signal_drains_and_returns_partial_results(self, signum_name):
+        import multiprocessing as mp
+        import os
+        import signal
+        import threading
+        import time as time_module
+
+        signum = getattr(signal, signum_name)
+        handler_before = signal.getsignal(signum)
+        solver = MultiWalkSolver(
+            costas_factory(24),  # hard enough not to solve in ~1 s
+            ASParameters.for_costas(24, check_period=16),
+            n_workers=2,
+            seed_root=3,
+        )
+        timer = threading.Timer(1.0, lambda: os.kill(os.getpid(), signum))
+        timer.start()
+        start = time_module.perf_counter()
+        try:
+            outcome = solver.solve(max_time=300.0, join_timeout=15.0)
+        finally:
+            timer.cancel()
+        elapsed = time_module.perf_counter() - start
+        if outcome.solved and not outcome.interrupted:
+            pytest.skip("solved before the signal fired")
+        assert outcome.interrupted
+        assert elapsed < 60.0  # did not run anywhere near max_time
+        assert outcome.results  # partial statistics from the drained walks
+        assert all(
+            r.stop_reason in ("external_stop", "solved") for r in outcome.results
+        )
+        # No leaked children, and the previous handler was restored.
+        assert mp.active_children() == []
+        assert signal.getsignal(signum) == handler_before
+
+
+class TestLivenessHelper:
+    def test_detector_grace_period(self):
+        import time as time_module
+
+        from repro.parallel.liveness import DeadProcessDetector, poll_interval
+
+        class FakeProc:
+            def __init__(self, alive):
+                self.alive = alive
+
+            def is_alive(self):
+                return self.alive
+
+        detector = DeadProcessDetector(grace=0.05)
+        live = {0: FakeProc(True), 1: FakeProc(True)}
+        assert detector.poll(live) == []
+        live[1].alive = False
+        assert detector.poll(live) == []  # first observation starts the clock
+        time_module.sleep(0.08)
+        assert detector.poll(live) == [1]
+        # A respawn (alive again under the same id) drops the clock.
+        live[1].alive = True
+        assert detector.poll(live) == []
+        live[1].alive = False
+        assert detector.poll(live) == []  # fresh grace period
+        assert 0.05 <= poll_interval(1.0) <= 0.5
+
+    def test_detection_is_per_process_despite_sibling_progress(self):
+        """A dead process is detected even while siblings keep reporting —
+        the clock is per process, not shared (a shared clock starves
+        detection under steady traffic)."""
+        import time as time_module
+
+        from repro.parallel.liveness import DeadProcessDetector
+
+        class FakeProc:
+            def __init__(self, alive):
+                self.alive = alive
+
+            def is_alive(self):
+                return self.alive
+
+        detector = DeadProcessDetector(grace=0.05)
+        pending = {0: FakeProc(True), 1: FakeProc(False)}
+        deadline = time_module.perf_counter() + 2.0
+        declared = []
+        while time_module.perf_counter() < deadline and not declared:
+            # Sibling 0 "reports" constantly: pending churns but 1 stays dead.
+            declared = detector.poll(pending)
+            time_module.sleep(0.01)
+        assert declared == [1]

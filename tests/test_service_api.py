@@ -1,0 +1,285 @@
+"""Tests for the worker pool and the SolverService facade.
+
+The coalescing test here is the acceptance criterion of the service PR: N
+concurrent identical requests must trigger exactly **one** solve on the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError
+
+import numpy as np
+import pytest
+
+from repro.costas.array import is_costas
+from repro.exceptions import SolverError
+from repro.service.api import ServiceConfig, SolverService
+from repro.service.scheduler import SchedulerSaturatedError
+from repro.service.workers import WorkerPool
+
+
+@pytest.fixture()
+def service(tmp_path):
+    config = ServiceConfig(
+        store_path=str(tmp_path / "solutions.db"),
+        n_workers=2,
+        default_max_time=120.0,
+    )
+    with SolverService(config) as svc:
+        yield svc
+
+
+class TestWorkerPool:
+    def test_jobs_run_on_warm_workers(self):
+        done = threading.Event()
+        outcome = {}
+
+        def on_done(handle):
+            outcome["handle"] = handle
+            done.set()
+
+        with WorkerPool(2, seed_root=1) as pool:
+            pool.submit(
+                {"kind": "costas", "order": 9, "params": None, "max_time": 60.0},
+                on_done=on_done,
+            )
+            assert done.wait(timeout=60)
+            handle = outcome["handle"]
+            assert handle.solved
+            assert is_costas(handle.best.configuration)
+            # Same two processes stay up across jobs.
+            stats = pool.stats()
+            assert stats["alive_workers"] == 2
+            assert stats["jobs_done"] == 1
+
+    def test_sequential_jobs_reuse_processes(self):
+        events = [threading.Event() for _ in range(3)]
+        with WorkerPool(1, seed_root=2) as pool:
+            first_pids = {p.pid for p in pool._procs}
+            for event in events:
+                pool.submit(
+                    {"kind": "costas", "order": 8, "params": None, "max_time": 60.0},
+                    on_done=lambda h, e=event: e.set(),
+                )
+            for event in events:
+                assert event.wait(timeout=60)
+            assert {p.pid for p in pool._procs} == first_pids
+            assert pool.stats()["jobs_done"] == 3
+            assert pool.stats()["workers_respawned"] == 0
+
+    def test_multi_walk_job_first_past_the_post(self):
+        done = threading.Event()
+        outcome = {}
+
+        def on_done(handle):
+            outcome["handle"] = handle
+            done.set()
+
+        with WorkerPool(2, seed_root=3) as pool:
+            pool.submit(
+                {"kind": "costas", "order": 10, "params": None, "max_time": 60.0},
+                walks=2,
+                on_done=on_done,
+            )
+            assert done.wait(timeout=120)
+            assert outcome["handle"].solved
+
+    def test_shutdown_drain_false_aborts_quickly(self):
+        done = threading.Event()
+        pool = WorkerPool(1, seed_root=4)
+        pool.start()
+        # Order 20 will not solve instantly; abort must not wait for it.
+        pool.submit(
+            {"kind": "costas", "order": 20, "params": None, "max_time": 300.0},
+            on_done=lambda h: done.set(),
+        )
+        time.sleep(0.5)
+        start = time.perf_counter()
+        pool.shutdown(drain=False, timeout=20.0)
+        assert time.perf_counter() - start < 20.0
+        assert done.wait(timeout=5)
+        assert all(not p.is_alive() for p in pool._procs)
+
+    def test_dead_worker_detected_despite_sibling_traffic(self):
+        """A worker killed mid-job is respawned even while its sibling keeps
+        a steady result stream flowing (regression: a shared grace clock or
+        liveness-only-when-idle would starve detection forever)."""
+        import multiprocessing as mp
+        import os
+        import signal as signal_module
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        hard_done = threading.Event()
+        pool = WorkerPool(2, mp_context="fork", seed_root=5)
+        pool.start()
+        try:
+            # Park one worker on a hard instance...
+            hard = pool.submit(
+                {"kind": "costas", "order": 22, "params": None, "max_time": 300.0},
+                on_done=lambda h: hard_done.set(),
+            )
+            deadline = time.perf_counter() + 30
+            while not hard.running and time.perf_counter() < deadline:
+                time.sleep(0.05)
+            assert hard.running, "hard job never claimed"
+            victim_slot = next(iter(hard.running.values()))
+            victim_pid = pool._procs[victim_slot].pid
+            os.kill(victim_pid, signal_module.SIGKILL)
+            # ...and keep the sibling busy with a stream of easy jobs while
+            # the collector must notice the corpse.
+            deadline = time.perf_counter() + 60
+            while (
+                pool.stats()["workers_respawned"] == 0
+                and time.perf_counter() < deadline
+            ):
+                done = threading.Event()
+                pool.submit(
+                    {"kind": "costas", "order": 7, "params": None, "max_time": 30.0},
+                    on_done=lambda h, e=done: e.set(),
+                )
+                done.wait(timeout=30)
+            assert pool.stats()["workers_respawned"] >= 1
+            pool.cancel(hard)  # clean up the (requeued) hard walk
+            hard_done.wait(timeout=30)
+        finally:
+            pool.shutdown(drain=False, timeout=20.0)
+
+    def test_rejects_bad_configuration(self):
+        from repro.exceptions import ParallelExecutionError
+
+        with pytest.raises(ParallelExecutionError):
+            WorkerPool(0)
+        pool = WorkerPool(1)
+        with pytest.raises(ParallelExecutionError):
+            pool.submit({"kind": "costas", "order": 9}, walks=0, on_done=lambda h: None)
+        pool.shutdown(drain=False, timeout=5.0)
+
+
+class TestServiceTiers:
+    def test_construction_tier_answers_constructible_orders(self, service):
+        response = service.submit(12).result(timeout=30)
+        assert response.solved and response.source == "construction"
+        assert is_costas(response.solution)
+        # Inserted into the store: the next request is a store hit.
+        assert service.submit(12).result(timeout=30).source == "store"
+
+    def test_search_tier_used_when_tiers_disabled(self, service):
+        response = service.submit(
+            9, use_constructions=False, use_store=False
+        ).result(timeout=120)
+        assert response.solved and response.source == "search"
+        assert is_costas(response.solution)
+
+    def test_search_result_populates_store_for_next_request(self, service):
+        first = service.submit(9, use_constructions=False).result(timeout=120)
+        assert first.source == "search"
+        second = service.submit(9, use_constructions=False).result(timeout=30)
+        assert second.source == "store"
+        assert is_costas(second.solution)
+
+    def test_rejects_unknown_kind_and_tiny_orders(self, service):
+        with pytest.raises(SolverError):
+            service.submit(9, kind="queens")
+        with pytest.raises(SolverError):
+            service.submit(2)
+
+    def test_result_by_request_id(self, service):
+        request = service.submit(10)
+        response = service.result(request.request_id, timeout=30)
+        assert response is not None and response.request_id == request.request_id
+        assert service.result("nope") is None
+
+    def test_stats_shape(self, service):
+        service.submit(10).result(timeout=30)
+        stats = service.stats()
+        assert {"store", "scheduler", "pool", "immediate", "config"} <= set(stats)
+        assert stats["immediate"]["construction"] >= 1
+
+
+class TestCoalescingAcceptance:
+    def test_concurrent_identical_requests_trigger_exactly_one_solve(self, service):
+        """Acceptance criterion: N concurrent identical requests -> 1 solve."""
+        n_requests = 10
+        requests = [
+            service.submit(16, use_constructions=False, use_store=False)
+            for _ in range(n_requests)
+        ]
+        responses = [r.result(timeout=300) for r in requests]
+        assert all(r.solved for r in responses)
+        assert all(is_costas(r.solution) for r in responses)
+        solutions = {tuple(int(v) for v in r.solution) for r in responses}
+        assert len(solutions) == 1  # one shared in-flight solve, one answer
+        sched = service.scheduler.stats()
+        assert sched["submitted"] == n_requests
+        assert sched["coalesced"] == n_requests - 1
+        assert sched["completed"] == 1
+        pool = service.pool.stats()
+        assert pool["jobs_done"] == 1  # exactly one solve hit the pool
+        assert all(
+            r.detail.get("coalesced_width") == n_requests for r in responses
+        )
+
+    def test_concurrent_submitters_from_threads(self, service):
+        results = []
+        lock = threading.Lock()
+
+        def client():
+            resp = service.submit(
+                14, use_constructions=False, use_store=False
+            ).result(timeout=300)
+            with lock:
+                results.append(resp)
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert len(results) == 6 and all(r.solved for r in results)
+        # Coalescing still bounds pool work: fewer jobs than clients.
+        assert service.pool.stats()["jobs_done"] < 6
+
+
+class TestCancellationAndBackpressure:
+    def test_cancel_queued_request(self, tmp_path):
+        config = ServiceConfig(
+            store_path=str(tmp_path / "c.db"), n_workers=1, default_max_time=300.0
+        )
+        with SolverService(config) as svc:
+            # Occupy the single worker with a hard order, then queue another.
+            svc.submit(21, use_constructions=False, use_store=False)
+            victim = svc.submit(22, use_constructions=False, use_store=False)
+            assert svc.cancel(victim.request_id)
+            with pytest.raises(CancelledError):
+                victim.result(timeout=5)
+            assert not svc.cancel(victim.request_id)  # already settled
+            svc.close(drain=False, timeout=10.0)
+
+    def test_backpressure_raises_when_queue_full(self, tmp_path):
+        config = ServiceConfig(
+            store_path=str(tmp_path / "bp.db"),
+            n_workers=1,
+            max_queue_depth=1,
+            default_max_time=300.0,
+        )
+        with SolverService(config) as svc:
+            svc.submit(23, use_constructions=False, use_store=False)
+            time.sleep(0.3)  # let the dispatcher drain the first into RUNNING
+            svc.submit(24, use_constructions=False, use_store=False)
+            with pytest.raises(SchedulerSaturatedError):
+                svc.submit(25, use_constructions=False, use_store=False)
+            svc.close(drain=False, timeout=10.0)
+
+    def test_close_fails_pending_requests(self, tmp_path):
+        config = ServiceConfig(
+            store_path=str(tmp_path / "cl.db"), n_workers=1, default_max_time=300.0
+        )
+        svc = SolverService(config)
+        svc.start()
+        request = svc.submit(26, use_constructions=False, use_store=False)
+        svc.close(drain=False, timeout=10.0)
+        with pytest.raises((SolverError, CancelledError)):
+            request.result(timeout=5)

@@ -1,0 +1,157 @@
+"""Tests for the SQLite-backed persistent solution store."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.costas.array import is_costas
+from repro.costas.constructions import construct
+from repro.costas.symmetry import SYMMETRY_NAMES, all_symmetries, canonical_form
+from repro.service.store import SolutionStore, StoreError
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with SolutionStore(tmp_path / "solutions.db") as s:
+        yield s
+
+
+def _solution(order: int) -> np.ndarray:
+    return construct(order).to_array()
+
+
+class TestInsertAndGet:
+    def test_round_trip(self, store):
+        perm = _solution(10)
+        assert store.insert("costas", perm)
+        got = store.get("costas", 10)
+        assert got is not None
+        assert is_costas(got)
+        assert store.stats.inserts == 1
+        assert store.stats.hits == 1
+
+    def test_miss_counts(self, store):
+        assert store.get("costas", 17) is None
+        assert store.stats.misses == 1
+
+    def test_symmetry_class_deduplication(self, store):
+        """All 8 dihedral variants collapse onto one stored row."""
+        perm = _solution(11)
+        assert store.insert("costas", perm)
+        for variant in all_symmetries(perm):
+            assert not store.insert("costas", variant)
+        assert store.count("costas", 11) == 1
+        assert store.stats.inserts == 1
+        assert store.stats.duplicates == 8  # identity is re-inserted too
+
+    def test_variant_expansion_on_read(self, store):
+        perm = _solution(12)
+        store.insert("costas", perm)
+        base = store.get("costas", 12)
+        images = [store.get("costas", 12, variant=k) for k in range(len(SYMMETRY_NAMES))]
+        expected = all_symmetries(base)
+        for got, want in zip(images, expected):
+            assert np.array_equal(got, want)
+            assert is_costas(got)
+
+    def test_contains_class_matches_any_variant(self, store):
+        perm = _solution(13)
+        store.insert("costas", perm)
+        for variant in all_symmetries(perm):
+            assert store.contains_class("costas", variant)
+        assert not store.contains_class("costas", _solution(14))
+
+    def test_rejects_invalid_costas_solution(self, store):
+        with pytest.raises(StoreError):
+            store.insert("costas", np.arange(8))  # identity is never Costas for n=8
+
+    def test_validation_can_be_disabled(self, tmp_path):
+        with SolutionStore(tmp_path / "raw.db", validate=False) as s:
+            assert s.insert("costas", np.arange(8))
+
+    def test_distinct_classes_both_stored(self, store):
+        a = construct(6, method="welch").to_array()
+        b = construct(6, method="golomb").to_array()
+        if np.array_equal(canonical_form(a), canonical_form(b)):
+            pytest.skip("constructions landed in the same symmetry class")
+        assert store.insert("costas", a)
+        assert store.insert("costas", b)
+        assert store.count("costas", 6) == 2
+
+    def test_orders_and_count_filters(self, store):
+        store.insert("costas", _solution(10))
+        store.insert("costas", _solution(11))
+        assert store.orders("costas") == [10, 11]
+        assert store.count() == 2
+        assert store.count("costas") == 2
+        assert store.count("costas", 10) == 1
+
+    def test_memory_store_works(self):
+        with SolutionStore(":memory:") as s:
+            s.insert("costas", _solution(10))
+            assert s.get("costas", 10) is not None
+
+    def test_snapshot_merges_persistent_and_instance_counters(self, store):
+        store.insert("costas", _solution(10))
+        store.get("costas", 10)
+        snap = store.snapshot()
+        assert snap["stored_classes"] == 1
+        assert snap["persistent_hits"] == 1
+        assert snap["hits"] == 1 and snap["inserts"] == 1
+
+
+def _hammer(path: str, order: int, variants_json: str, results_queue) -> None:
+    """Child-process body: insert every variant, read back, report counters."""
+    variants = [np.asarray(v, dtype=np.int64) for v in json.loads(variants_json)]
+    store = SolutionStore(path)
+    inserted = 0
+    for _ in range(5):
+        for variant in variants:
+            if store.insert("costas", variant):
+                inserted += 1
+    read_ok = all(store.get("costas", variants[0].size) is not None for _ in range(20))
+    store.close()
+    results_queue.put((inserted, read_ok))
+
+
+class TestConcurrentAccess:
+    """Two processes hitting the same canonical class must not corrupt or
+    double-count (exercises the WAL path)."""
+
+    def test_two_processes_insert_same_class(self, tmp_path):
+        path = str(tmp_path / "wal.db")
+        # Creating the store up-front also proves schema creation is
+        # race-free for the children.
+        SolutionStore(path).close()
+        perm = _solution(12)
+        variants_json = json.dumps([[int(x) for x in v] for v in all_symmetries(perm)])
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_hammer, args=(path, 12, variants_json, queue))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        outcomes = [queue.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        # Exactly one insert won across both processes and all 8 variants x 5
+        # rounds; every read succeeded.
+        assert sum(ins for ins, _ in outcomes) == 1
+        assert all(ok for _, ok in outcomes)
+        with SolutionStore(path) as store:
+            assert store.count("costas", 12) == 1
+            got = store.get("costas", 12)
+            assert is_costas(got)
+        # WAL journal mode actually took effect on the file.
+        conn = sqlite3.connect(path)
+        (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
+        conn.close()
+        assert mode.lower() == "wal"

@@ -1,0 +1,267 @@
+"""Portfolio benchmark: pure-AS multi-walk vs heterogeneous portfolios.
+
+Races the multi-walk solver in two configurations on hard Costas orders:
+
+* **pure** — every walk runs Adaptive Search with an independent seed (the
+  paper's scheme);
+* **mixed** — walks are assigned a heterogeneous portfolio round-robin
+  (``adaptive+tabu`` by default), first solution wins.
+
+For each configuration the benchmark reports the time-to-target distribution
+(mean/std/min/max over repetitions) plus the win count per strategy, which is
+the observable the strategy layer exists for: on instances where no single
+algorithm dominates, a mixed portfolio hedges the per-walk variance of the
+time-to-target race.
+
+A single-walk Adaptive Search throughput probe (same protocol as
+``bench_incremental_vs_reference.py``) is included so the strategy-layer
+refactor can be checked against ``BENCH_engine.json`` for hot-path
+regressions: ``--require-throughput X`` fails the run if the engine drops
+below ``X`` iterations/sec at the probe order.
+
+Results are written to ``BENCH_portfolio.json``; CI runs ``--smoke``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_portfolio.py
+    PYTHONPATH=src python benchmarks/bench_portfolio.py \\
+        --orders 13,14 --repeats 10 --walks 4 --portfolio adaptive+tabu
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import AdaptiveSearch
+from repro.core.params import ASParameters
+from repro.experiments.base import costas_factory
+from repro.models.costas import CostasProblem
+from repro.parallel.multiwalk import MultiWalkSolver
+from repro.solvers import portfolio_label, resolve_portfolio
+
+DEFAULT_ORDERS = (13, 14)
+
+
+def _summary(times, runs):
+    if not times:
+        return {"runs": runs, "mean": None, "std": None, "min": None, "max": None}
+    return {
+        "runs": runs,
+        "mean": statistics.mean(times),
+        "std": statistics.pstdev(times) if len(times) > 1 else 0.0,
+        "min": min(times),
+        "max": max(times),
+    }
+
+
+def race(order, solver_spec, *, walks, repeats, max_time, seed_base):
+    """Time-to-target distribution of one multi-walk configuration.
+
+    Only solved runs enter the time-to-target statistics — a timed-out run
+    contributes to ``timeout_runs`` instead of censoring the distribution at
+    ``max_time`` (which would skew any pure-vs-mixed comparison where the
+    success rates differ).
+    """
+    times = []
+    wins = {}
+    solved = 0
+    for rep in range(repeats):
+        solver = MultiWalkSolver(
+            costas_factory(order),
+            ASParameters.for_costas(order),
+            solver=solver_spec,
+            n_workers=walks,
+            seed_root=seed_base + rep,
+        )
+        outcome = solver.solve(max_time=max_time)
+        if outcome.solved:
+            solved += 1
+            times.append(outcome.wall_time)
+            winner = outcome.best.solver
+            wins[winner] = wins.get(winner, 0) + 1
+    return {
+        "portfolio": portfolio_label(resolve_portfolio(solver_spec)),
+        "walks": walks,
+        "solved_runs": solved,
+        "timeout_runs": repeats - solved,
+        "wins_by_solver": wins,
+        "time_to_target": _summary(times, repeats),
+    }
+
+
+def throughput_probe(order, iterations, seeds=2):
+    """Single-walk AS iterations/sec (comparable to BENCH_engine.json)."""
+    engine = AdaptiveSearch()
+    params = ASParameters.for_costas(order, max_iterations=iterations)
+    total_iterations = 0
+    total_time = 0.0
+    for seed in range(seeds):
+        result = engine.solve(CostasProblem(order), seed=seed, params=params)
+        total_iterations += result.iterations
+        total_time += result.wall_time
+    return {
+        "order": order,
+        "iterations_per_second": total_iterations / total_time if total_time else 0.0,
+        "total_iterations": total_iterations,
+        "total_seconds": total_time,
+    }
+
+
+def run(orders, *, walks, repeats, max_time, portfolio):
+    results = {}
+    for order in orders:
+        pure = race(
+            order, "adaptive", walks=walks, repeats=repeats,
+            max_time=max_time, seed_base=1000 + order,
+        )
+        mixed = race(
+            order, portfolio, walks=walks, repeats=repeats,
+            max_time=max_time, seed_base=1000 + order,
+        )
+        pure_mean = pure["time_to_target"]["mean"]
+        mixed_mean = mixed["time_to_target"]["mean"]
+        pure_std = pure["time_to_target"]["std"]
+        mixed_std = mixed["time_to_target"]["std"]
+        results[str(order)] = {
+            "pure": pure,
+            "mixed": mixed,
+            "mixed_over_pure_mean": (
+                mixed_mean / pure_mean if pure_mean and mixed_mean is not None else None
+            ),
+            "mixed_over_pure_std": (
+                mixed_std / pure_std if pure_std and mixed_std is not None else None
+            ),
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--orders", default=",".join(str(n) for n in DEFAULT_ORDERS),
+        help="comma-separated Costas orders (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--walks", type=int, default=4, help="worker processes per race"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=8, help="repetitions per configuration"
+    )
+    parser.add_argument(
+        "--max-time", type=float, default=120.0, help="per-walk budget (s)"
+    )
+    parser.add_argument(
+        "--portfolio", default="adaptive+tabu",
+        help="mixed configuration raced against pure AS (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--throughput-order", type=int, default=18,
+        help="order of the single-walk throughput probe",
+    )
+    parser.add_argument(
+        "--throughput-iterations", type=int, default=4000,
+        help="iteration budget of the throughput probe",
+    )
+    parser.add_argument(
+        "--require-throughput", type=float, default=None, metavar="X",
+        help="exit non-zero if the single-walk probe is below X iterations/sec",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_portfolio.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI preset: order 10, 2 walks, 2 repeats; asserts solutions",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        orders = (10,)
+        walks, repeats, max_time = 2, 2, 60.0
+        throughput_iterations = 800
+    else:
+        try:
+            orders = tuple(int(tok) for tok in args.orders.split(",") if tok.strip())
+        except ValueError:
+            parser.error(f"--orders must be comma-separated integers, got {args.orders!r}")
+        if not orders or any(n < 3 for n in orders):
+            parser.error(f"--orders needs Costas orders >= 3, got {args.orders!r}")
+        walks, repeats, max_time = args.walks, args.repeats, args.max_time
+        throughput_iterations = args.throughput_iterations
+
+    results = run(
+        orders, walks=walks, repeats=repeats, max_time=max_time,
+        portfolio=args.portfolio,
+    )
+    probe = throughput_probe(args.throughput_order, throughput_iterations)
+
+    report = {
+        "benchmark": "bench_portfolio",
+        "unit": "seconds time-to-target (multi-walk), iterations/sec (probe)",
+        "walks": walks,
+        "repeats": repeats,
+        "portfolio": args.portfolio,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "results": results,
+        "single_walk_throughput": probe,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    header = f"{'n':>4s} {'config':>16s} {'solved':>7s} {'mean s':>9s} {'std s':>9s} {'min s':>9s} {'max s':>9s}"
+    print(header)
+    for order in orders:
+        cell = report["results"][str(order)]
+        for label in ("pure", "mixed"):
+            ttt = cell[label]["time_to_target"]
+            stats = (
+                f"{ttt['mean']:9.3f} {ttt['std']:9.3f} {ttt['min']:9.3f} {ttt['max']:9.3f}"
+                if ttt["mean"] is not None
+                else f"{'—':>9s} {'—':>9s} {'—':>9s} {'—':>9s}"
+            )
+            print(
+                f"{order:4d} {cell[label]['portfolio']:>16s} "
+                f"{cell[label]['solved_runs']:3d}/{ttt['runs']:<3d} {stats}"
+            )
+    print(
+        f"single-walk probe: n={probe['order']} "
+        f"{probe['iterations_per_second']:.0f} it/s"
+    )
+    print(f"wrote {args.out}")
+
+    if args.smoke:
+        for order in orders:
+            cell = report["results"][str(order)]
+            for label in ("pure", "mixed"):
+                if cell[label]["solved_runs"] == 0:
+                    print(f"FAIL: {label} solved nothing at n={order}", file=sys.stderr)
+                    return 1
+        mixed_wins = report["results"][str(orders[0])]["mixed"]["wins_by_solver"]
+        print(f"smoke OK: mixed wins by solver = {mixed_wins}")
+    if (
+        args.require_throughput is not None
+        and probe["iterations_per_second"] < args.require_throughput
+    ):
+        print(
+            f"FAIL: single-walk throughput {probe['iterations_per_second']:.0f} it/s "
+            f"below required {args.require_throughput:.0f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,10 @@ up to 8,192 cores.  This package rebuilds that whole stack in Python:
 * :mod:`repro.models` — AS models of the CAP and of the related classic CSPs;
 * :mod:`repro.baselines` — Dialectic Search, tabu search, restart hill
   climbing and a complete CP solver for the paper's comparisons;
+* :mod:`repro.solvers` — the string-keyed solver registry: every solver
+  above behind one strategy protocol, addressable by name from the CLI, the
+  multi-walk driver and the service, with heterogeneous portfolio specs
+  (``"adaptive+tabu"``) raced first-past-the-post;
 * :mod:`repro.parallel` — independent multi-walk parallelism: real
   ``multiprocessing`` execution, a simulated message-passing layer, and a
   virtual-cluster performance model of the paper's machines;
@@ -91,25 +95,29 @@ def parallel_solve_costas(
     *,
     n_workers: Optional[int] = None,
     params: Optional[ASParameters] = None,
+    solver=None,
     seed_root: Optional[int] = None,
     max_time: Optional[float] = None,
 ):
     """Solve the CAP with the paper's independent multi-walk scheme on this machine.
 
     One worker process per walk; the first solution stops everyone.  Returns a
-    :class:`repro.parallel.multiwalk.MultiWalkResult`.
+    :class:`repro.parallel.multiwalk.MultiWalkResult`.  ``solver`` selects the
+    strategy (or a heterogeneous portfolio such as ``"adaptive+tabu"``) from
+    the :mod:`repro.solvers` registry; the default is pure Adaptive Search.
     """
     from repro.experiments.base import costas_factory
     from repro.parallel.multiwalk import MultiWalkSolver
 
     parameters = params if params is not None else ASParameters.for_costas(order)
-    solver = MultiWalkSolver(
+    multiwalk = MultiWalkSolver(
         costas_factory(order),
         parameters,
+        solver=solver,
         n_workers=n_workers,
         seed_root=seed_root,
     )
-    return solver.solve(max_time=max_time)
+    return multiwalk.solve(max_time=max_time)
 
 
 class CostasSolveResult:

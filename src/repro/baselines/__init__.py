@@ -16,10 +16,13 @@
   triangle), standing in for the Comet/MiniZinc CP model that the paper
   reports to be ~400x slower than AS on CAP 19.
 
-All of them consume the same :class:`repro.core.problem.PermutationProblem`
-interface (except the CP solver, which works directly on the Costas structure)
-and produce :class:`repro.core.result.SolveResult` objects, so the analysis
-and benchmark layers treat every solver uniformly.
+All of them speak the :class:`repro.core.strategy.SearchStrategy` dialect —
+``solve(problem, seed, *, params, stop_check, callbacks, max_time)`` returning
+a :class:`repro.core.result.SolveResult` (the CP solver also accepts a raw
+order, since it works directly on the Costas structure) — and are registered
+in :mod:`repro.solvers`, so every layer from the experiments to the HTTP
+service treats them uniformly: any baseline can be multi-walked, raced in a
+portfolio, served, cancelled and time-limited exactly like the engine.
 """
 
 from repro.baselines.dialectic import DialecticSearch

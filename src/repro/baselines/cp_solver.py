@@ -18,18 +18,29 @@ solver:
 
 Node and failure counts are reported in :attr:`SolveResult.extra`, so the CP
 comparison benchmark can report search effort as well as wall-clock time.
+
+Although the search is complete rather than local, the solver speaks the same
+strategy dialect as everything else in :mod:`repro.solvers`: ``solve`` accepts
+either a raw order or a Costas :class:`~repro.core.problem.PermutationProblem`
+(so the registry and the multi-walk/service layers can hand it the same
+factories as the local-search strategies), and it honours ``stop_check``
+(polled every ``check_period`` nodes) and ``max_time`` like every other
+registered solver.  ``callbacks`` is accepted for signature uniformity; a
+tree search has no per-iteration events to report, so it is ignored.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from repro.core.problem import PermutationProblem
 from repro.core.result import SolveResult
 from repro.core.rng import SeedLike, ensure_generator
+from repro.exceptions import SolverError
 
 __all__ = ["CPParameters", "CPBacktrackingSolver"]
 
@@ -46,6 +57,8 @@ class CPParameters:
     max_nodes: Optional[int] = None
     #: Abort after this wall-clock budget in seconds (``None`` = unlimited).
     max_time: Optional[float] = None
+    #: Search nodes between polls of the external ``stop_check``.
+    check_period: int = 64
 
     def __post_init__(self) -> None:
         if self.variable_order not in ("lex", "dom"):
@@ -54,6 +67,8 @@ class CPParameters:
             raise ValueError("max_nodes must be >= 1")
         if self.max_time is not None and self.max_time <= 0:
             raise ValueError("max_time must be positive")
+        if self.check_period < 1:
+            raise ValueError("check_period must be >= 1")
 
 
 class CPBacktrackingSolver:
@@ -65,18 +80,42 @@ class CPBacktrackingSolver:
     # ------------------------------------------------------------------ public
     def solve(
         self,
-        order: int,
+        order: Union[int, PermutationProblem],
         seed: SeedLike = None,
         *,
         params: Optional[CPParameters] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+        callbacks: Optional[object] = None,
+        max_time: Optional[float] = None,
     ) -> SolveResult:
-        """Find one Costas array of the given *order* (or prove the budget ran out)."""
+        """Find one Costas array of the given *order* (or prove the budget ran out).
+
+        *order* may also be a Costas :class:`PermutationProblem` instance (the
+        uniform strategy interface); only its size is used — the CP model
+        solves the pure Costas constraints, not an arbitrary cost function.
+        ``max_time`` tightens (never widens) the parameter-level budget, and
+        ``stop_check`` is polled every ``check_period`` search nodes.
+        """
+        del callbacks  # accepted for strategy-signature uniformity; no events
+        if isinstance(order, PermutationProblem):
+            from repro.models.costas import CostasProblem
+
+            problem = order
+            if not isinstance(problem, CostasProblem):
+                raise SolverError(
+                    "CPBacktrackingSolver only solves Costas instances, got "
+                    f"{problem.describe()}"
+                )
+            order = problem.size
         p = params if params is not None else self.params
+        if max_time is not None:
+            effective = max_time if p.max_time is None else min(p.max_time, max_time)
+            p = replace(p, max_time=effective)
         rng = ensure_generator(seed)
         seed_int = int(seed) if isinstance(seed, (int, np.integer)) else None
 
         start = time.perf_counter()
-        state = _SearchState(order, p, rng, start)
+        state = _SearchState(order, p, rng, start, stop_check=stop_check)
         solution = state.search()
         elapsed = time.perf_counter() - start
 
@@ -121,6 +160,7 @@ class _SearchState:
         params: CPParameters,
         rng: np.random.Generator,
         start_time: float,
+        stop_check: Optional[Callable[[], bool]] = None,
     ) -> None:
         if order < 1:
             raise ValueError(f"order must be positive, got {order}")
@@ -128,6 +168,10 @@ class _SearchState:
         self.params = params
         self.rng = rng
         self.start_time = start_time
+        self.stop_check = stop_check
+        # Next node count at which the external stop is polled (node 0 counts,
+        # so a pre-set stop aborts before any search happens).
+        self._next_poll = 0
         self.nodes = 0
         self.failures = 0
         self.backtracks = 0
@@ -155,9 +199,16 @@ class _SearchState:
         return values
 
     def _budget_exceeded(self) -> bool:
+        if self.stop_reason == "external_stop":  # sticky: unwind immediately
+            return True
         if self.params.max_nodes is not None and self.nodes >= self.params.max_nodes:
             self.stop_reason = "max_iterations"
             return True
+        if self.stop_check is not None and self.nodes >= self._next_poll:
+            self._next_poll = self.nodes + self.params.check_period
+            if self.stop_check():
+                self.stop_reason = "external_stop"
+                return True
         if (
             self.params.max_time is not None
             and time.perf_counter() - self.start_time >= self.params.max_time
@@ -255,5 +306,8 @@ class _SearchState:
             yield from self._solutions()
             self.backtracks += 1
             self._undo(col, removed, diffs)
-            if self.stop_reason in ("max_iterations", "max_time") and self._budget_exceeded():
+            if (
+                self.stop_reason in ("max_iterations", "max_time", "external_stop")
+                and self._budget_exceeded()
+            ):
                 return

@@ -19,21 +19,24 @@ problems with a swap neighbourhood:
 
 The solver works on any :class:`repro.core.problem.PermutationProblem`, so the
 Table II benchmark runs AS and DS on the *same* cost model and hardware —
-which is what makes the measured time ratio meaningful.
+which is what makes the measured time ratio meaningful.  The running cost is
+carried through ``apply_swap`` return values (like the engine does) instead of
+re-reading ``problem.cost()`` inside the candidate loops, and run control
+comes from the shared :class:`~repro.core.strategy.StrategyRun` harness.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.core.params import ASParameters
+from repro.core.callbacks import IterationCallback
 from repro.core.problem import PermutationProblem
 from repro.core.result import SolveResult
 from repro.core.rng import SeedLike, ensure_generator
+from repro.core.strategy import StrategyRun
 
 __all__ = ["DialecticSearchParameters", "DialecticSearch"]
 
@@ -78,44 +81,37 @@ class DialecticSearch:
         seed: SeedLike = None,
         *,
         params: Optional[DialecticSearchParameters] = None,
-        stop_check=None,
+        stop_check: Optional[Callable[[], bool]] = None,
+        callbacks: Optional[IterationCallback] = None,
         max_time: Optional[float] = None,
     ) -> SolveResult:
-        """Run Dialectic Search on *problem* until solved or out of budget."""
+        """Run Dialectic Search on *problem* until solved, stopped or out of budget."""
         p = params if params is not None else self.params
         rng = ensure_generator(seed)
-        seed_int = int(seed) if isinstance(seed, (int, np.integer)) else None
         n = problem.size
         strength = p.perturbation_strength or max(2, n // 3)
 
-        start = time.perf_counter()
-        iterations = 0
+        run = StrategyRun(
+            problem,
+            "dialectic-search",
+            seed,
+            target_cost=p.target_cost,
+            max_iterations=p.max_iterations,
+            check_period=p.check_period,
+            stop_check=stop_check,
+            max_time=max_time,
+            callbacks=callbacks,
+        )
         greedy_steps = 0
-        restarts = 0
-        local_minima = 0
-        stop_reason = "solved"
 
         problem.initialise(rng)
-        greedy_steps += self._greedy(problem)
+        steps, thesis_cost = self._greedy(problem)
+        greedy_steps += steps
         thesis = problem.configuration()
-        thesis_cost = problem.cost()
-        best_config = thesis.copy()
-        best_cost = thesis_cost
+        run.record_best(thesis_cost, thesis)
         no_improvement = 0
 
-        while best_cost > p.target_cost:
-            if p.max_iterations is not None and iterations >= p.max_iterations:
-                stop_reason = "max_iterations"
-                break
-            if iterations % p.check_period == 0:
-                if stop_check is not None and stop_check():
-                    stop_reason = "external_stop"
-                    break
-                if max_time is not None and time.perf_counter() - start >= max_time:
-                    stop_reason = "max_time"
-                    break
-            iterations += 1
-
+        while run.running(run.best_cost):
             # ----------------------------------------------------------- antithesis
             antithesis = thesis.copy()
             for _ in range(strength):
@@ -124,10 +120,14 @@ class DialecticSearch:
 
             # ------------------------------------------------------------ synthesis
             problem.set_configuration(thesis)
+            current_cost = thesis_cost
             path_best = thesis.copy()
             path_best_cost = thesis_cost
             current = thesis.copy()
-            # Walk towards the antithesis one assimilating swap at a time.
+            # Walk towards the antithesis one assimilating swap at a time; the
+            # running cost is carried through the apply_swap returns, so the
+            # candidate loop costs one swap_delta per mismatch and no cost()
+            # re-reads.
             while True:
                 mismatches = np.flatnonzero(current != antithesis)
                 if mismatches.size == 0:
@@ -138,12 +138,12 @@ class DialecticSearch:
                     target_value = antithesis[i]
                     j = int(np.flatnonzero(current == target_value)[0])
                     delta = problem.swap_delta(int(i), j)
-                    cand_cost = problem.cost() + delta
+                    cand_cost = current_cost + delta
                     if best_move_cost is None or cand_cost < best_move_cost:
                         best_move_cost = cand_cost
                         best_move = (int(i), j)
                 i, j = best_move
-                problem.apply_swap(i, j)
+                current_cost = problem.apply_swap(i, j)
                 current = problem.configuration()
                 if best_move_cost < path_best_cost:
                     path_best_cost = best_move_cost
@@ -151,70 +151,65 @@ class DialecticSearch:
 
             # ------------------------------------------------- exploit the best point
             problem.set_configuration(path_best)
-            greedy_steps += self._greedy(problem)
-            candidate_cost = problem.cost()
+            steps, candidate_cost = self._greedy(problem, path_best_cost)
+            greedy_steps += steps
 
             if candidate_cost < thesis_cost:
                 thesis = problem.configuration()
                 thesis_cost = candidate_cost
                 no_improvement = 0
+                run.event("improving_move", thesis_cost)
             else:
                 no_improvement += 1
-                local_minima += 1
+                run.local_minima += 1
+                run.event("local_minimum", thesis_cost)
 
-            if thesis_cost < best_cost:
-                best_cost = thesis_cost
-                best_config = thesis.copy()
+            run.record_best(thesis_cost, thesis)
+            run.iteration_done(thesis_cost)
 
-            if best_cost <= p.target_cost:
+            if run.best_cost <= p.target_cost:
                 break
 
             # -------------------------------------------------------------- restart
             if no_improvement >= p.max_no_improvement:
-                restarts += 1
+                run.restarts += 1
                 problem.initialise(rng)
-                greedy_steps += self._greedy(problem)
+                steps, thesis_cost = self._greedy(problem)
+                greedy_steps += steps
                 thesis = problem.configuration()
-                thesis_cost = problem.cost()
                 no_improvement = 0
-                if thesis_cost < best_cost:
-                    best_cost = thesis_cost
-                    best_config = thesis.copy()
+                run.record_best(thesis_cost, thesis)
+                run.event("restart", thesis_cost)
 
-        solved = best_cost <= p.target_cost
-        return SolveResult(
-            solved=solved,
-            configuration=best_config,
-            cost=int(best_cost),
-            iterations=iterations,
-            local_minima=local_minima,
-            restarts=restarts,
-            swaps=greedy_steps,
-            wall_time=time.perf_counter() - start,
-            seed=seed_int,
-            stop_reason="solved" if solved else stop_reason,
-            solver="dialectic-search",
-            problem=problem.describe(),
-            extra={"greedy_steps": greedy_steps},
-        )
+        run.swaps = greedy_steps
+        return run.finish(extra={"greedy_steps": greedy_steps})
 
     # --------------------------------------------------------------- internals
     @staticmethod
-    def _greedy(problem: PermutationProblem) -> int:
-        """Best-improvement descent to a local minimum; returns the number of swaps."""
+    def _greedy(
+        problem: PermutationProblem, cost: Optional[int] = None
+    ) -> Tuple[int, int]:
+        """Best-improvement descent to a local minimum.
+
+        Returns ``(swaps_applied, final_cost)``; *cost* is the (known) cost of
+        the problem's current configuration, read once from the model when the
+        caller does not have it at hand.
+        """
         n = problem.size
         steps = 0
+        if cost is None:
+            cost = problem.cost()
         while True:
             best_delta = 0
             best_move = None
             for i in range(n):
                 deltas = problem.swap_deltas(i)
-                j = int(np.argmin(deltas[: n]))
+                j = int(np.argmin(deltas[:n]))
                 delta = int(deltas[j])
                 if delta < best_delta:
                     best_delta = delta
                     best_move = (i, j)
             if best_move is None:
-                return steps
-            problem.apply_swap(*best_move)
+                return steps, cost
+            cost = problem.apply_swap(*best_move)
             steps += 1

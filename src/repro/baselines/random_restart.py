@@ -7,19 +7,25 @@ policy — best-improvement hill climbing restarted from scratch whenever it
 gets stuck — so that the repository can demonstrate the gap between a naive
 stochastic search and Adaptive Search's adaptive tabu/reset machinery on the
 same cost model.
+
+Run control (budgets, ``stop_check``, ``max_time``, ``callbacks``) comes from
+the shared :class:`~repro.core.strategy.StrategyRun` harness, making the hill
+climber registry-addressable, multi-walkable and cancellable like every other
+strategy.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.callbacks import IterationCallback
 from repro.core.problem import PermutationProblem
 from repro.core.result import SolveResult
 from repro.core.rng import SeedLike, ensure_generator
+from repro.core.strategy import StrategyRun
 
 __all__ = ["RandomRestartParameters", "RandomRestartHillClimbing"]
 
@@ -56,40 +62,33 @@ class RandomRestartHillClimbing:
         seed: SeedLike = None,
         *,
         params: Optional[RandomRestartParameters] = None,
-        stop_check=None,
+        stop_check: Optional[Callable[[], bool]] = None,
+        callbacks: Optional[IterationCallback] = None,
         max_time: Optional[float] = None,
     ) -> SolveResult:
-        """Run the hill climber on *problem* until solved or out of budget."""
+        """Run the hill climber on *problem* until solved, stopped or out of budget."""
         p = params if params is not None else self.params
         rng = ensure_generator(seed)
-        seed_int = int(seed) if isinstance(seed, (int, np.integer)) else None
         n = problem.size
 
-        start = time.perf_counter()
+        run = StrategyRun(
+            problem,
+            "random-restart-hill-climbing",
+            seed,
+            target_cost=p.target_cost,
+            max_iterations=p.max_steps,
+            check_period=p.check_period,
+            stop_check=stop_check,
+            max_time=max_time,
+            callbacks=callbacks,
+        )
         problem.initialise(rng)
         cost = problem.cost()
-        best_cost = cost
-        best_config = problem.configuration()
+        run.track_best(cost)
 
-        steps = 0
-        restarts = 0
-        local_minima = 0
         sideways = 0
-        stop_reason = "solved"
 
-        while cost > p.target_cost:
-            if p.max_steps is not None and steps >= p.max_steps:
-                stop_reason = "max_iterations"
-                break
-            if steps % p.check_period == 0:
-                if stop_check is not None and stop_check():
-                    stop_reason = "external_stop"
-                    break
-                if max_time is not None and time.perf_counter() - start >= max_time:
-                    stop_reason = "max_time"
-                    break
-            steps += 1
-
+        while run.running(cost):
             # Best move over the full swap neighbourhood.
             best_delta = None
             best_move = None
@@ -111,32 +110,21 @@ class RandomRestartHillClimbing:
 
             if take_move:
                 cost = problem.apply_swap(*best_move)
-                if cost < best_cost:
-                    best_cost = cost
-                    best_config = problem.configuration()
+                run.swaps += 1
+                run.track_best(cost)
+                run.event("improving_move" if best_delta < 0 else "plateau_move", cost)
+                if best_delta == 0:
+                    run.plateau_moves += 1
             else:
                 # Stuck: restart from scratch (the "too simple" policy).
-                local_minima += 1
-                restarts += 1
+                run.local_minima += 1
+                run.restarts += 1
                 sideways = 0
+                run.event("local_minimum", cost)
                 problem.initialise(rng)
                 cost = problem.cost()
-                if cost < best_cost:
-                    best_cost = cost
-                    best_config = problem.configuration()
+                run.track_best(cost)
+                run.event("restart", cost)
+            run.iteration_done(cost)
 
-        solved = best_cost <= p.target_cost
-        return SolveResult(
-            solved=solved,
-            configuration=best_config,
-            cost=int(best_cost),
-            iterations=steps,
-            local_minima=local_minima,
-            restarts=restarts,
-            swaps=steps,
-            wall_time=time.perf_counter() - start,
-            seed=seed_int,
-            stop_reason="solved" if solved else stop_reason,
-            solver="random-restart-hill-climbing",
-            problem=problem.describe(),
-        )
+        return run.finish()

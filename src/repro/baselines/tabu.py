@@ -9,20 +9,23 @@ and the reversed move is forbidden for ``tenure`` iterations.
 
 It is intentionally unsophisticated — its role in the repository is to be the
 "honest simple metaheuristic" yardstick in solver-comparison examples and
-tests, not to compete with Adaptive Search.
+tests, not to compete with Adaptive Search.  Run control (budgets,
+``stop_check``, ``max_time``, ``callbacks``) comes from the shared
+:class:`~repro.core.strategy.StrategyRun` harness, so the solver is a
+first-class citizen of the :mod:`repro.solvers` registry: it can be
+multi-walked, served and cancelled exactly like the engine.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-import numpy as np
-
+from repro.core.callbacks import IterationCallback
 from repro.core.problem import PermutationProblem
 from repro.core.result import SolveResult
 from repro.core.rng import SeedLike, ensure_generator
+from repro.core.strategy import StrategyRun
 
 __all__ = ["TabuSearchParameters", "TabuSearch"]
 
@@ -64,42 +67,36 @@ class TabuSearch:
         seed: SeedLike = None,
         *,
         params: Optional[TabuSearchParameters] = None,
-        stop_check=None,
+        stop_check: Optional[Callable[[], bool]] = None,
+        callbacks: Optional[IterationCallback] = None,
         max_time: Optional[float] = None,
     ) -> SolveResult:
-        """Run tabu search on *problem* until solved or out of budget."""
+        """Run tabu search on *problem* until solved, stopped or out of budget."""
         p = params if params is not None else self.params
         rng = ensure_generator(seed)
-        seed_int = int(seed) if isinstance(seed, (int, np.integer)) else None
         n = problem.size
         tenure = p.tenure if p.tenure is not None else n
 
-        start = time.perf_counter()
+        run = StrategyRun(
+            problem,
+            "tabu-search",
+            seed,
+            target_cost=p.target_cost,
+            max_iterations=p.max_iterations,
+            check_period=p.check_period,
+            stop_check=stop_check,
+            max_time=max_time,
+            callbacks=callbacks,
+        )
         problem.initialise(rng)
         cost = problem.cost()
-        best_cost = cost
-        best_config = problem.configuration()
+        run.track_best(cost)
 
         tabu: Dict[Tuple[int, int], int] = {}
-        iterations = 0
-        swaps = 0
-        restarts = 0
-        local_minima = 0
         stagnation = 0
-        stop_reason = "solved"
 
-        while cost > p.target_cost:
-            if p.max_iterations is not None and iterations >= p.max_iterations:
-                stop_reason = "max_iterations"
-                break
-            if iterations % p.check_period == 0:
-                if stop_check is not None and stop_check():
-                    stop_reason = "external_stop"
-                    break
-                if max_time is not None and time.perf_counter() - start >= max_time:
-                    stop_reason = "max_time"
-                    break
-            iterations += 1
+        while run.running(cost):
+            iterations = run.iteration
 
             # Scan the full swap neighbourhood.
             best_move = None
@@ -110,7 +107,7 @@ class TabuSearch:
                     move_cost = cost + int(deltas[j])
                     is_tabu = tabu.get((i, j), 0) >= iterations
                     # Aspiration: a tabu move is allowed if it beats the best ever.
-                    if is_tabu and move_cost >= best_cost:
+                    if is_tabu and move_cost >= run.best_cost:
                         continue
                     if best_move_cost is None or move_cost < best_move_cost:
                         best_move_cost = move_cost
@@ -119,49 +116,34 @@ class TabuSearch:
             if best_move is None:
                 # Every move tabu and none aspirational: clear the list.
                 tabu.clear()
-                local_minima += 1
+                run.local_minima += 1
+                run.event("local_minimum", cost)
                 continue
 
             i, j = best_move
             if best_move_cost >= cost:
-                local_minima += 1
+                run.local_minima += 1
                 stagnation += 1
+                run.event("local_minimum", cost)
             else:
                 stagnation = 0
             cost = problem.apply_swap(i, j)
-            swaps += 1
+            run.swaps += 1
             tabu[(i, j)] = iterations + tenure
-
-            if cost < best_cost:
-                best_cost = cost
-                best_config = problem.configuration()
+            run.track_best(cost)
 
             if (
                 p.restart_after is not None
                 and stagnation >= p.restart_after
                 and cost > p.target_cost
             ):
-                restarts += 1
+                run.restarts += 1
                 stagnation = 0
                 tabu.clear()
                 problem.initialise(rng)
                 cost = problem.cost()
-                if cost < best_cost:
-                    best_cost = cost
-                    best_config = problem.configuration()
+                run.track_best(cost)
+                run.event("restart", cost)
+            run.iteration_done(cost)
 
-        solved = best_cost <= p.target_cost
-        return SolveResult(
-            solved=solved,
-            configuration=best_config,
-            cost=int(best_cost),
-            iterations=iterations,
-            local_minima=local_minima,
-            restarts=restarts,
-            swaps=swaps,
-            wall_time=time.perf_counter() - start,
-            seed=seed_int,
-            stop_reason="solved" if solved else stop_reason,
-            solver="tabu-search",
-            problem=problem.describe(),
-        )
+        return run.finish()

@@ -15,11 +15,19 @@ Commands
     ``ablation-*``) at a chosen scale preset and print its table.
 ``repro list-experiments``
     Show the identifiers accepted by ``repro experiment``.
+``repro solvers``
+    List the registered search strategies, their parameter dataclasses and
+    defaults (``--json`` for machine-readable output).
 ``repro serve``
     Run the solver-as-a-service HTTP server (persistent solution store,
     request coalescing, long-lived worker pool).
 ``repro request N``
     Submit one solve request to a running ``repro serve`` instance.
+
+``parallel``, ``serve`` and ``request`` accept ``--solver`` with a registry
+name (``tabu``), an inline portfolio (``adaptive+tabu``, raced
+first-past-the-post across walks) or a named portfolio (``mixed``);
+``solve`` runs a single walk, so it accepts a single solver name only.
 """
 
 from __future__ import annotations
@@ -53,12 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="try the Welch/Lempel/Golomb constructions before searching",
     )
+    p_solve.add_argument(
+        "--solver",
+        default=None,
+        help="registered solver to run (see 'repro solvers'); default: adaptive",
+    )
+    p_solve.add_argument(
+        "--max-time", type=float, default=None, help="wall-clock limit (s)"
+    )
 
     p_par = sub.add_parser("parallel", help="solve one CAP instance with multi-walk processes")
     p_par.add_argument("order", type=int)
     p_par.add_argument("--workers", type=int, default=None, help="number of worker processes")
     p_par.add_argument("--seed", type=int, default=None, help="root seed")
     p_par.add_argument("--max-time", type=float, default=None, help="wall-clock limit (s)")
+    p_par.add_argument(
+        "--solver",
+        default=None,
+        help="solver or portfolio for the walks (e.g. tabu, adaptive+tabu, mixed)",
+    )
 
     p_cons = sub.add_parser("construct", help="build a Costas array algebraically")
     p_cons.add_argument("order", type=int)
@@ -84,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-experiments", help="list experiment identifiers")
 
+    p_solvers = sub.add_parser(
+        "solvers", help="list registered search strategies and their parameters"
+    )
+    p_solvers.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     p_serve = sub.add_parser("serve", help="run the solver-as-a-service HTTP server")
     p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
     p_serve.add_argument("--port", type=int, default=8000, help="TCP port")
@@ -98,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-time", type=float, default=300.0, help="default per-walk time budget (s)"
     )
+    p_serve.add_argument(
+        "--solver",
+        default=None,
+        help="default solver/portfolio for requests that do not name one",
+    )
     p_serve.add_argument("--quiet", action="store_true", help="suppress per-request logging")
 
     p_req = sub.add_parser("request", help="submit one request to a running server")
@@ -105,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_req.add_argument("--url", default="http://127.0.0.1:8000", help="server base URL")
     p_req.add_argument("--priority", type=int, default=0, help="scheduling priority")
     p_req.add_argument("--max-time", type=float, default=None, help="per-walk budget (s)")
+    p_req.add_argument(
+        "--solver",
+        default=None,
+        help="solver or portfolio to request (e.g. tabu, adaptive+tabu, mixed)",
+    )
     p_req.add_argument(
         "--timeout", type=float, default=600.0, help="client-side wait limit (s)"
     )
@@ -138,6 +176,48 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     options = {}
     if args.basic:
         options = dict(err_weight="constant", use_chang=False, dedicated_reset=False)
+
+    if args.solver is not None or args.max_time is not None:
+        # Any registered strategy, through the registry's uniform interface
+        # (also the path for --max-time, which the registry harness provides
+        # to every solver uniformly).
+        from repro.costas import CostasArray
+        from repro.exceptions import SolverError
+        from repro.models import CostasProblem
+        from repro.solvers import resolve_portfolio, run_spec
+
+        try:
+            specs = resolve_portfolio(args.solver)
+            if len(specs) > 1:
+                print(
+                    f"error: {args.solver!r} is a portfolio; sequential solve "
+                    "runs one walk — use 'repro parallel --solver' to race it",
+                    file=sys.stderr,
+                )
+                return 1
+            result = run_spec(
+                specs[0],
+                CostasProblem(args.order, **options),
+                seed=args.seed,
+                problem_kind="costas",
+                max_time=args.max_time,
+            )
+        except SolverError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.quiet:
+            if not result.solved:
+                print(f"unsolved: {result.summary()}", file=sys.stderr)
+                return 1
+            print([int(v) + 1 for v in result.configuration])
+            return 0
+        print(result.summary())
+        if result.solved:
+            array = CostasArray.from_permutation(result.configuration)
+            print("permutation (1-based):", list(array.to_one_based()))
+            print(array.render())
+        return 0 if result.solved else 1
+
     result = solve_costas(args.order, seed=args.seed, **options)
     if args.quiet:
         print(list(result.as_costas_array().to_one_based()))
@@ -153,15 +233,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_parallel(args: argparse.Namespace) -> int:
     from repro import parallel_solve_costas
     from repro.costas import CostasArray
+    from repro.exceptions import SolverError
 
-    outcome = parallel_solve_costas(
-        args.order,
-        n_workers=args.workers,
-        seed_root=args.seed,
-        max_time=args.max_time,
-    )
+    try:
+        outcome = parallel_solve_costas(
+            args.order,
+            n_workers=args.workers,
+            solver=args.solver,
+            seed_root=args.seed,
+            max_time=args.max_time,
+        )
+    except SolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(
-        f"{outcome.n_workers} walks, wall time {outcome.wall_time:.3f}s, "
+        f"{outcome.n_workers} walks ({'+'.join(outcome.solvers)}), "
+        f"wall time {outcome.wall_time:.3f}s, "
         f"total iterations {outcome.total_iterations}"
     )
     print(outcome.best.summary())
@@ -236,6 +323,47 @@ def _cmd_list_experiments(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    from repro.solvers import list_portfolios, list_solvers
+
+    if args.json:
+        payload = {
+            "solvers": [
+                {
+                    "name": info.name,
+                    "aliases": list(info.aliases),
+                    "result_name": info.result_name or info.name,
+                    "problem_kinds": list(info.problem_kinds),
+                    "summary": info.summary,
+                    "params_class": info.params_cls.__name__,
+                    "param_defaults": info.param_defaults(),
+                }
+                for info in list_solvers()
+            ],
+            "portfolios": {
+                name: list(members) for name, members in list_portfolios().items()
+            },
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+
+    for info in list_solvers():
+        aliases = f" (aliases: {', '.join(info.aliases)})" if info.aliases else ""
+        print(f"{info.name}{aliases}")
+        print(f"    {info.summary}")
+        print(f"    problems: {', '.join(info.problem_kinds)}")
+        defaults = ", ".join(
+            f"{k}={v!r}" for k, v in info.param_defaults().items()
+        )
+        print(f"    {info.params_cls.__name__}({defaults})")
+    portfolios = list_portfolios()
+    if portfolios:
+        print("portfolios:")
+        for name, members in sorted(portfolios.items()):
+            print(f"    {name} = {'+'.join(members)}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -248,6 +376,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         walks_per_job=args.walks,
         max_queue_depth=args.queue_depth,
         default_max_time=args.max_time,
+        default_solver=args.solver,
     )
     server = ServiceHTTPServer(
         (args.host, args.port), config=config, verbose=not args.quiet
@@ -297,6 +426,8 @@ def _cmd_request(args: argparse.Namespace) -> int:
     body = {"order": args.order, "priority": args.priority}
     if args.max_time is not None:
         body["max_time"] = args.max_time
+    if args.solver is not None:
+        body["solver"] = args.solver
     try:
         status, payload = _call("POST", "/solve", body)
     except (urllib.error.URLError, OSError) as exc:
@@ -327,10 +458,11 @@ def _cmd_request(args: argparse.Namespace) -> int:
         print(f"unsolved: {payload}", file=sys.stderr)
         return 1
     solution = payload["solution"]
-    print(
-        f"order {args.order} via {payload['source']} "
-        f"in {payload['elapsed']:.4f}s"
-    )
+    via = payload["source"]
+    solver = (payload.get("detail") or {}).get("solver")
+    if solver:
+        via = f"{via} ({solver})"
+    print(f"order {args.order} via {via} in {payload['elapsed']:.4f}s")
     print("permutation (1-based):", [v + 1 for v in solution])
     return 0
 
@@ -342,6 +474,7 @@ _DISPATCH = {
     "enumerate": _cmd_enumerate,
     "experiment": _cmd_experiment,
     "list-experiments": _cmd_list_experiments,
+    "solvers": _cmd_solvers,
     "serve": _cmd_serve,
     "request": _cmd_request,
 }

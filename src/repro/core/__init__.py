@@ -27,6 +27,7 @@ from repro.core.problem import (
 )
 from repro.core.result import RunLimits, SolveResult
 from repro.core.engine import AdaptiveSearch, solve
+from repro.core.strategy import SearchStrategy, StrategyRun
 from repro.core.callbacks import (
     CallbackList,
     CostTraceRecorder,
@@ -49,6 +50,8 @@ __all__ = [
     "RunLimits",
     "AdaptiveSearch",
     "solve",
+    "SearchStrategy",
+    "StrategyRun",
     "IterationCallback",
     "CallbackList",
     "CostTraceRecorder",

@@ -33,16 +33,16 @@ iterations — this is the parallel termination test of Section V-A) fires.
 from __future__ import annotations
 
 import inspect
-import time
 from typing import Callable, Optional
 
 import numpy as np
 
-from repro.core.callbacks import CallbackList, IterationCallback
+from repro.core.callbacks import IterationCallback
 from repro.core.params import ASParameters
 from repro.core.problem import PermutationProblem
 from repro.core.result import SolveResult
 from repro.core.rng import SeedLike, ensure_generator
+from repro.core.strategy import StrategyRun
 
 __all__ = ["AdaptiveSearch", "solve"]
 
@@ -113,11 +113,7 @@ class AdaptiveSearch:
         """
         p = params if params is not None else self.params
         cb = callbacks if callbacks is not None else self.callbacks
-        notifier = cb if cb is not None else CallbackList()
-        # With no instrumentation registered, skip dispatch on the hot loop.
-        observe = bool(notifier)
         rng = ensure_generator(seed)
-        seed_int = int(seed) if isinstance(seed, (int, np.integer)) else None
 
         # Out-of-tree models written against the pre-incremental contract may
         # still define ``apply_swap(self, i, j)``; only pass the scored delta
@@ -133,7 +129,19 @@ class AdaptiveSearch:
         else:
             apply_swap = lambda i, j, delta=None: problem.apply_swap(i, j)  # noqa: E731
 
-        start_time = time.perf_counter()
+        run = StrategyRun(
+            problem,
+            "adaptive-search",
+            seed,
+            target_cost=p.target_cost,
+            max_iterations=p.max_iterations,
+            check_period=p.check_period,
+            stop_check=stop_check,
+            max_time=max_time,
+            callbacks=cb,
+        )
+        observe = run.observe
+        notifier = run.notifier
         if initial_configuration is not None:
             problem.set_configuration(np.asarray(initial_configuration, dtype=np.int64))
         else:
@@ -143,35 +151,14 @@ class AdaptiveSearch:
 
         tabu_until = np.zeros(n, dtype=np.int64)
         marked_since_reset = 0
-        iteration = 0
-        local_minima = 0
-        plateau_moves = 0
-        swaps = 0
-        resets = 0
-        restarts = 0
         iterations_since_restart = 0
-        stop_reason = "solved"
-
-        best_cost = cost
-        best_config = problem.configuration()
+        run.track_best(cost)
         # Per-iteration error vector, reused until the configuration changes
         # (an iteration that only marks a variable tabu leaves it valid).
         raw_errors: Optional[np.ndarray] = None
 
-        while cost > p.target_cost:
-            # ------------------------------------------------ budget / external stop
-            if p.max_iterations is not None and iteration >= p.max_iterations:
-                stop_reason = "max_iterations"
-                break
-            if iteration % p.check_period == 0:
-                if stop_check is not None and stop_check():
-                    stop_reason = "external_stop"
-                    break
-                if max_time is not None and time.perf_counter() - start_time >= max_time:
-                    stop_reason = "max_time"
-                    break
-
-            iteration += 1
+        while run.running(cost):
+            iteration = run.iteration
             iterations_since_restart += 1
 
             # ------------------------------------------------------- select culprit
@@ -197,20 +184,20 @@ class AdaptiveSearch:
                 partner = _random_argmin(deltas, best_delta, rng)
                 cost = apply_swap(culprit, partner, delta=best_delta)
                 raw_errors = None
-                swaps += 1
+                run.swaps += 1
                 observe and notifier.on_event("improving_move", iteration, cost)
             elif best_delta == 0:
                 if rng.random() < p.plateau_probability:
                     partner = _random_argmin(deltas, best_delta, rng)
                     cost = apply_swap(culprit, partner, delta=best_delta)
                     raw_errors = None
-                    swaps += 1
-                    plateau_moves += 1
+                    run.swaps += 1
+                    run.plateau_moves += 1
                     observe and notifier.on_event("plateau_move", iteration, cost)
                 else:
                     marked = True
             else:
-                local_minima += 1
+                run.local_minima += 1
                 observe and notifier.on_event("local_minimum", iteration, cost)
                 if rng.random() < p.local_min_accept_probability:
                     # Escape uphill: accept the least-bad swap instead of
@@ -219,7 +206,7 @@ class AdaptiveSearch:
                     partner = _random_argmin(deltas, best_delta, rng)
                     cost = apply_swap(culprit, partner, delta=best_delta)
                     raw_errors = None
-                    swaps += 1
+                    run.swaps += 1
                 else:
                     marked = True
 
@@ -230,7 +217,7 @@ class AdaptiveSearch:
 
                 # ------------------------------------------------------------ reset
                 if marked_since_reset >= p.reset_limit:
-                    resets += 1
+                    run.resets += 1
                     replacement = problem.custom_reset(rng)
                     if replacement is not None:
                         problem.load_trusted_configuration(
@@ -250,9 +237,9 @@ class AdaptiveSearch:
             if (
                 p.restart_limit is not None
                 and iterations_since_restart >= p.restart_limit
-                and restarts < p.max_restarts
+                and run.restarts < p.max_restarts
             ):
-                restarts += 1
+                run.restarts += 1
                 problem.initialise(rng)
                 cost = problem.cost()
                 raw_errors = None
@@ -261,33 +248,10 @@ class AdaptiveSearch:
                 iterations_since_restart = 0
                 observe and notifier.on_event("restart", iteration, cost)
 
-            if cost < best_cost:
-                best_cost = cost
-                best_config = problem.configuration()
+            run.track_best(cost)
             observe and notifier.on_iteration(iteration, cost)
 
-        solved = cost <= p.target_cost
-        if solved:
-            best_cost = cost
-            best_config = problem.configuration()
-            observe and notifier.on_event("solution", iteration, cost)
-
-        return SolveResult(
-            solved=solved,
-            configuration=best_config,
-            cost=int(best_cost),
-            iterations=iteration,
-            local_minima=local_minima,
-            plateau_moves=plateau_moves,
-            resets=resets,
-            restarts=restarts,
-            swaps=swaps,
-            wall_time=time.perf_counter() - start_time,
-            seed=seed_int,
-            stop_reason=stop_reason if not solved else "solved",
-            solver="adaptive-search",
-            problem=problem.describe(),
-        )
+        return run.finish()
 
     # ---------------------------------------------------------------- internals
     @staticmethod

@@ -1,0 +1,238 @@
+"""The shared strategy layer: one loop harness for every search solver.
+
+Before this module existed, each solver (the Adaptive Search engine and the
+four baselines) re-implemented the same run scaffolding: wall-clock and
+iteration budgets, periodic ``stop_check`` polling, best-so-far tracking,
+restart/reset accounting and the final :class:`~repro.core.result.SolveResult`
+assembly.  Besides the duplication, the copies drifted — some solvers lacked
+``stop_check``/``max_time``/``callbacks`` entirely, which meant they could not
+be multi-walked, served or cancelled.
+
+Two pieces live here:
+
+* :class:`SearchStrategy` — the protocol every registry-addressable solver
+  satisfies.  A strategy is a reusable object whose ``solve`` method takes a
+  :class:`~repro.core.problem.PermutationProblem`, a seed and the uniform
+  run-control keywords (``params``, ``stop_check``, ``max_time``,
+  ``callbacks``) and returns a :class:`~repro.core.result.SolveResult`.
+* :class:`StrategyRun` — the loop harness.  A solver creates one per run; the
+  harness owns the clock, the iteration counter, the budget/stop checks (all
+  performed by :meth:`StrategyRun.running`, polled every ``check_period``
+  iterations exactly like the paper's parallel termination test), the shared
+  statistics counters, best-configuration tracking and result assembly.  The
+  solver keeps only its actual search logic.
+
+The harness sits on the hot path of every solver, so its per-iteration work is
+one method call doing a handful of integer comparisons; everything costly
+(``time.perf_counter``, the external ``stop_check``) is amortised behind the
+``check_period`` modulus, as before the refactor.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.callbacks import CallbackList, IterationCallback
+from repro.core.problem import PermutationProblem
+from repro.core.result import SolveResult
+from repro.core.rng import SeedLike
+
+__all__ = ["SearchStrategy", "StrategyRun"]
+
+
+@runtime_checkable
+class SearchStrategy(Protocol):
+    """Protocol of a registry-addressable solver.
+
+    Implementations are reusable and stateless between calls to :meth:`solve`;
+    per-run state lives in the :class:`StrategyRun` they create.  ``params``
+    accepts the solver's own parameter dataclass (``None`` = the instance
+    default), and every solver honours the three run-control hooks:
+    ``stop_check`` (polled every ``check_period`` iterations), ``max_time``
+    (wall-clock budget, polled on the same cadence) and ``callbacks``
+    (instrumentation; solvers that have no events to report may ignore it).
+    """
+
+    def solve(
+        self,
+        problem: PermutationProblem,
+        seed: SeedLike = None,
+        *,
+        params: Optional[Any] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+        callbacks: Optional[IterationCallback] = None,
+        max_time: Optional[float] = None,
+    ) -> SolveResult:  # pragma: no cover - protocol signature
+        ...
+
+
+class StrategyRun:
+    """Per-run bookkeeping shared by every search strategy.
+
+    The harness replicates the exact loop-head semantics the solvers used
+    before the refactor, so seeded runs are bit-identical across the port:
+
+    1. the run ends as soon as the controlling cost reaches ``target_cost``;
+    2. then the iteration budget is checked (*before* the iteration counter
+       advances, so ``max_iterations=k`` allows exactly ``k`` iterations);
+    3. every ``check_period`` iterations (including iteration 0, i.e. before
+       any work) the external ``stop_check`` and the wall clock are polled;
+    4. only then does the iteration counter advance.
+
+    Counters (``swaps``, ``local_minima``, ``plateau_moves``, ``resets``,
+    ``restarts``) are plain attributes the solver increments; the harness
+    folds them into the :class:`SolveResult` in :meth:`finish`.
+    """
+
+    __slots__ = (
+        "problem",
+        "solver_name",
+        "seed",
+        "target_cost",
+        "max_iterations",
+        "check_period",
+        "stop_check",
+        "max_time",
+        "notifier",
+        "observe",
+        "start_time",
+        "iteration",
+        "swaps",
+        "local_minima",
+        "plateau_moves",
+        "resets",
+        "restarts",
+        "stop_reason",
+        "best_cost",
+        "best_config",
+    )
+
+    def __init__(
+        self,
+        problem: PermutationProblem,
+        solver_name: str,
+        seed: SeedLike = None,
+        *,
+        target_cost: int = 0,
+        max_iterations: Optional[int] = None,
+        check_period: int = 64,
+        stop_check: Optional[Callable[[], bool]] = None,
+        max_time: Optional[float] = None,
+        callbacks: Optional[IterationCallback] = None,
+    ) -> None:
+        self.problem = problem
+        self.solver_name = solver_name
+        self.seed = int(seed) if isinstance(seed, (int, np.integer)) else None
+        self.target_cost = target_cost
+        self.max_iterations = max_iterations
+        self.check_period = check_period
+        self.stop_check = stop_check
+        self.max_time = max_time
+        notifier = callbacks if callbacks is not None else CallbackList()
+        self.notifier = notifier
+        # With no instrumentation registered, skip dispatch on the hot loop.
+        self.observe = bool(notifier)
+        self.start_time = time.perf_counter()
+        self.iteration = 0
+        self.swaps = 0
+        self.local_minima = 0
+        self.plateau_moves = 0
+        self.resets = 0
+        self.restarts = 0
+        self.stop_reason = "solved"
+        self.best_cost: Optional[int] = None
+        self.best_config: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ loop
+    def running(self, cost: int) -> bool:
+        """Loop-head check: ``while run.running(cost):`` drives the search.
+
+        Returns ``False`` (recording ``stop_reason``) when the controlling
+        *cost* reached the target, a budget is exhausted or the external stop
+        fired; otherwise advances the iteration counter and returns ``True``.
+        """
+        if cost <= self.target_cost:
+            return False
+        if self.max_iterations is not None and self.iteration >= self.max_iterations:
+            self.stop_reason = "max_iterations"
+            return False
+        if self.iteration % self.check_period == 0:
+            if self.stop_check is not None and self.stop_check():
+                self.stop_reason = "external_stop"
+                return False
+            if (
+                self.max_time is not None
+                and time.perf_counter() - self.start_time >= self.max_time
+            ):
+                self.stop_reason = "max_time"
+                return False
+        self.iteration += 1
+        return True
+
+    # ------------------------------------------------------------------ best
+    def track_best(self, cost: int) -> None:
+        """Record the problem's current configuration if *cost* improves on it.
+
+        Must be called while the problem actually holds the configuration the
+        cost belongs to (the harness copies it via ``problem.configuration()``).
+        """
+        if self.best_cost is None or cost < self.best_cost:
+            self.best_cost = cost
+            self.best_config = self.problem.configuration()
+
+    def record_best(self, cost: int, config: np.ndarray) -> None:
+        """Like :meth:`track_best` for solvers that already hold a copy."""
+        if self.best_cost is None or cost < self.best_cost:
+            self.best_cost = cost
+            self.best_config = config.copy()
+
+    # ------------------------------------------------------------- callbacks
+    def event(self, name: str, cost: int) -> None:
+        """Dispatch a discrete engine event to the callbacks (if any)."""
+        self.observe and self.notifier.on_event(name, self.iteration, cost)
+
+    def iteration_done(self, cost: int) -> None:
+        """Dispatch the per-iteration instrumentation hook (if any)."""
+        self.observe and self.notifier.on_iteration(self.iteration, cost)
+
+    # ---------------------------------------------------------------- result
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.start_time
+
+    def finish(self, extra: Optional[Dict[str, Any]] = None) -> SolveResult:
+        """Assemble the :class:`SolveResult` for this run.
+
+        ``solved`` is judged on the best cost seen; on success the harness
+        emits the ``"solution"`` event, mirroring the engine's historical
+        behaviour.
+        """
+        best_cost = self.best_cost if self.best_cost is not None else self.problem.cost()
+        best_config = (
+            self.best_config
+            if self.best_config is not None
+            else self.problem.configuration()
+        )
+        solved = best_cost <= self.target_cost
+        if solved:
+            self.event("solution", best_cost)
+        return SolveResult(
+            solved=solved,
+            configuration=best_config,
+            cost=int(best_cost),
+            iterations=self.iteration,
+            local_minima=self.local_minima,
+            plateau_moves=self.plateau_moves,
+            resets=self.resets,
+            restarts=self.restarts,
+            swaps=self.swaps,
+            wall_time=self.elapsed,
+            seed=self.seed,
+            stop_reason="solved" if solved else self.stop_reason,
+            solver=self.solver_name,
+            problem=self.problem.describe(),
+            extra=extra if extra is not None else {},
+        )

@@ -14,12 +14,11 @@ from typing import Optional
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
-from repro.baselines.cp_solver import CPBacktrackingSolver, CPParameters
-from repro.core.engine import AdaptiveSearch
 from repro.experiments.base import ExperimentResult, costas_factory, costas_params, shared_runner
 from repro.experiments.config import ExperimentScale
 from repro.parallel.runner import ExperimentRunner
 from repro.parallel.seeds import spawned_seeds
+from repro.solvers import build_solver
 
 __all__ = ["run_cp_comparison"]
 
@@ -28,13 +27,19 @@ def run_cp_comparison(
     scale: Optional[ExperimentScale] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentResult:
-    """Reproduce the AS vs CP comparison at the given scale."""
+    """Reproduce the AS vs CP comparison at the given scale.
+
+    Both solvers come from the :mod:`repro.solvers` registry, so the
+    comparison exercises exactly the strategies a service client can request.
+    """
     scale = scale if scale is not None else ExperimentScale.default()
     runner = shared_runner(runner)
     result = ExperimentResult(experiment="cp_comparison", scale=scale.name)
 
-    cp = CPBacktrackingSolver(CPParameters(variable_order="dom", random_value_order=True))
-    as_engine = AdaptiveSearch()
+    cp, _ = build_solver(
+        {"name": "cp", "params": {"variable_order": "dom", "random_value_order": True}}
+    )
+    as_engine, _ = build_solver("adaptive")
 
     table_rows = []
     for order in scale.cp_orders:

@@ -17,12 +17,11 @@ import numpy as np
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
-from repro.baselines.dialectic import DialecticSearch, DialecticSearchParameters
-from repro.core.engine import AdaptiveSearch
 from repro.experiments.base import ExperimentResult, costas_factory, costas_params, shared_runner
 from repro.experiments.config import ExperimentScale
 from repro.parallel.runner import ExperimentRunner
 from repro.parallel.seeds import spawned_seeds
+from repro.solvers import build_solver
 
 __all__ = ["run_table2"]
 
@@ -31,15 +30,19 @@ def run_table2(
     scale: Optional[ExperimentScale] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentResult:
-    """Reproduce Table II (AS vs Dialectic Search) at the given scale."""
+    """Reproduce Table II (AS vs Dialectic Search) at the given scale.
+
+    Both solvers come from the :mod:`repro.solvers` registry, so the
+    comparison exercises exactly the strategies a service client can request.
+    """
     scale = scale if scale is not None else ExperimentScale.default()
     runner = shared_runner(runner)
     result = ExperimentResult(experiment="table2", scale=scale.name)
 
-    ds_solver = DialecticSearch(
-        DialecticSearchParameters(max_iterations=200_000)
+    ds_solver, _ = build_solver(
+        {"name": "dialectic", "params": {"max_iterations": 200_000}}
     )
-    as_engine = AdaptiveSearch()
+    as_engine, _ = build_solver("adaptive")
 
     table_rows = []
     for order in scale.table2_orders:

@@ -2,11 +2,18 @@
 
 This is the component a user runs to actually solve hard instances faster:
 ``k`` worker *processes* (not threads — the GIL would serialise pure-Python
-search threads) each run the sequential Adaptive Search engine with their own
-seed.  The first worker to find a solution sets a shared event; all workers
-poll that event every ``check_period`` iterations through the engine's
+search threads) each run a sequential search strategy with their own seed.
+The first worker to find a solution sets a shared event; all workers poll
+that event every ``check_period`` iterations through the strategy's
 ``stop_check`` hook, mirroring the non-blocking MPI probe of the paper, and
 stop as soon as it is set.
+
+By default every walk runs the Adaptive Search engine, but any solver of the
+:mod:`repro.solvers` registry can be selected with ``solver=``, including a
+**heterogeneous portfolio**: a list of solver specs assigned round-robin
+across the walks, racing first-past-the-post.  A portfolio turns the paper's
+multi-walk termination into an algorithm race — useful when no single
+strategy dominates on an instance family.
 
 The problem instance is described by a *factory* (a picklable callable
 returning a fresh :class:`~repro.core.problem.PermutationProblem`), because
@@ -27,13 +34,13 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.engine import AdaptiveSearch
 from repro.core.params import ASParameters
 from repro.core.problem import PermutationProblem
 from repro.core.result import SolveResult
 from repro.exceptions import ParallelExecutionError
 from repro.parallel.liveness import DeadProcessDetector, poll_interval
 from repro.parallel.seeds import spawned_seeds
+from repro.solvers import SpecLike, portfolio_label, resolve_portfolio, run_spec
 
 __all__ = ["MultiWalkResult", "MultiWalkSolver"]
 
@@ -78,26 +85,37 @@ class MultiWalkResult:
         """Sum of iterations across all reporting walks (total work performed)."""
         return sum(r.iterations for r in self.results)
 
+    @property
+    def solvers(self) -> List[str]:
+        """Distinct solver names among the reporting walks (sorted).
+
+        A pure run yields ``["adaptive-search"]``; a heterogeneous portfolio
+        run lists every strategy that participated.
+        """
+        return sorted({r.solver for r in self.results})
+
 
 def _worker(
     problem_factory: Callable[[], PermutationProblem],
     params: ASParameters,
+    spec_dict: dict,
     seed: int,
     walk_index: int,
     stop_event,
     queue,
     max_time: Optional[float],
 ) -> None:
-    """Body of one worker process: run AS until solved, stopped or out of budget."""
+    """Body of one worker process: run this walk's strategy until solved,
+    stopped or out of budget."""
     try:
         problem = problem_factory()
-        engine = AdaptiveSearch()
-        result = engine.solve(
+        result = run_spec(
+            spec_dict,
             problem,
             seed=seed,
-            params=params,
             stop_check=stop_event.is_set,
             max_time=max_time,
+            as_params=params,
         )
         if result.solved:
             stop_event.set()
@@ -115,7 +133,17 @@ class MultiWalkSolver:
     problem_factory:
         Picklable zero-argument callable producing a fresh problem instance.
     params:
-        Engine parameters shared by every walk.
+        Engine parameters shared by every Adaptive Search walk (walks whose
+        spec carries its own ``params`` use those instead).
+    solver:
+        Which strategy (or strategies) to run: a registry name
+        (``"tabu"``), a spec dict (``{"name": "tabu", "params": {...}}``), a
+        named or inline portfolio (``"mixed"``, ``"adaptive+tabu"``) or a
+        list of specs.  Portfolio members are assigned to walks round-robin
+        (``n_workers`` is raised to the portfolio size when smaller, so every
+        member is guaranteed a walk); the first solved walk stops everyone
+        (first past the post).  Default: pure Adaptive Search, exactly as
+        before.
     n_workers:
         Number of worker processes (default: the machine's CPU count).
     seeds:
@@ -133,6 +161,7 @@ class MultiWalkSolver:
         problem_factory: Callable[[], PermutationProblem],
         params: Optional[ASParameters] = None,
         *,
+        solver: SpecLike | Sequence[SpecLike] = None,
         n_workers: Optional[int] = None,
         seeds: Optional[Sequence[int]] = None,
         seed_root: Optional[int] = None,
@@ -140,9 +169,14 @@ class MultiWalkSolver:
     ) -> None:
         self.problem_factory = problem_factory
         self.params = params if params is not None else ASParameters()
+        self.solver_specs = resolve_portfolio(solver)
         self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         if self.n_workers < 1:
             raise ParallelExecutionError(f"n_workers must be >= 1, got {self.n_workers}")
+        # A portfolio races first-past-the-post only if every member actually
+        # gets a walk; silently dropping the tail of the round-robin would
+        # run a different portfolio than the one requested.
+        self.n_workers = max(self.n_workers, len(self.solver_specs))
         self._explicit_seeds = list(seeds) if seeds is not None else None
         if self._explicit_seeds is not None and len(self._explicit_seeds) < self.n_workers:
             raise ParallelExecutionError(
@@ -152,6 +186,16 @@ class MultiWalkSolver:
         if mp_context is None:
             mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         self._ctx = mp.get_context(mp_context)
+
+    @property
+    def portfolio(self) -> str:
+        """Label of the configured solver portfolio (``"adaptive+tabu"``)."""
+        return portfolio_label(self.solver_specs)
+
+    def _walk_spec(self, walk_index: int) -> dict:
+        """The (picklable) solver spec walk *walk_index* runs — round-robin."""
+        spec = self.solver_specs[walk_index % len(self.solver_specs)]
+        return spec.as_dict()
 
     # ------------------------------------------------------------------ public
     def solve(
@@ -197,8 +241,12 @@ class MultiWalkSolver:
             # Degenerate case: run inline (used by tests and the 1-core baselines).
             start = time.perf_counter()
             problem = self.problem_factory()
-            result = AdaptiveSearch().solve(
-                problem, seed=seeds[0], params=self.params, max_time=max_time
+            result = run_spec(
+                self._walk_spec(0),
+                problem,
+                seed=seeds[0],
+                max_time=max_time,
+                as_params=self.params,
             )
             result.extra["walk_index"] = 0
             elapsed = time.perf_counter() - start
@@ -214,6 +262,7 @@ class MultiWalkSolver:
                 args=(
                     self.problem_factory,
                     self.params,
+                    self._walk_spec(idx),
                     int(seed),
                     idx,
                     stop_event,

@@ -34,6 +34,7 @@ from repro.exceptions import ConstructionError, ReproError, SolverError
 from repro.service.scheduler import Job, RequestScheduler, Ticket
 from repro.service.store import SolutionStore
 from repro.service.workers import PoolJobHandle, WorkerPool
+from repro.solvers import canonical_portfolio, portfolio_label, resolve_portfolio
 
 __all__ = ["ServiceConfig", "ServiceRequest", "ServiceResponse", "SolverService"]
 
@@ -45,10 +46,15 @@ class ServiceConfig:
     store_path: str = ":memory:"
     n_workers: Optional[int] = None
     max_queue_depth: int = 256
-    #: Independent walks per search-tier job (first past the post).
+    #: Independent walks per search-tier job (first past the post).  A
+    #: portfolio request always gets at least one walk per portfolio member.
     walks_per_job: int = 1
     #: Default per-walk wall-clock budget (seconds); ``None`` = unbounded.
     default_max_time: Optional[float] = 300.0
+    #: Solver (or portfolio) used when a request does not name one: a
+    #: registry name ("adaptive", "tabu"), an inline portfolio
+    #: ("adaptive+tabu"), a named portfolio ("mixed") or a spec dict/list.
+    default_solver: Optional[Any] = None
     #: Disable tiers globally (benchmarks use these to build the naive rival).
     use_store: bool = True
     use_constructions: bool = True
@@ -129,19 +135,33 @@ class SolverService:
         self._req_counter = itertools.count(1)
         #: scheduler Job -> pool handle, for cancellation of running jobs.
         self._job_handles: Dict[int, PoolJobHandle] = {}
+        #: scheduler Job -> slot permits it holds (portfolio jobs hold more).
+        self._job_permits: Dict[int, int] = {}
         self._dispatch_thread: Optional[threading.Thread] = None
-        # One permit per concurrently-dispatched job: jobs stay *queued in the
+        # One permit per walks_per_job workers: jobs stay *queued in the
         # scheduler* (where they count toward max_depth and remain
-        # coalescable/cancellable) until a worker slot frees up, instead of
-        # draining into the pool's opaque mp queue.  Each job occupies
-        # walks_per_job workers, so the permit count is jobs, not workers.
-        self._slots = threading.Semaphore(
-            max(1, self.pool.n_workers // max(1, self.config.walks_per_job))
+        # coalescable/cancellable) until worker slots free up, instead of
+        # draining into the pool's opaque mp queue.  An ordinary job takes
+        # one permit; a portfolio job takes one permit per walks_per_job
+        # walks it fans out (capped at the pool), so heterogeneous requests
+        # cannot oversubscribe the workers behind the semaphore's back.
+        self._total_slots = max(
+            1, self.pool.n_workers // max(1, self.config.walks_per_job)
+        )
+        self._slots = threading.Semaphore(self._total_slots)
+        # Validate the configured default solver once, at construction: a
+        # typo must fail fast here, not on the first request or stats() call.
+        self._default_solver_label = portfolio_label(
+            resolve_portfolio(self.config.default_solver)
         )
         self._closed = False
         self._started_at = time.time()
         self._immediate = {"store": 0, "construction": 0}
         self._searches = 0
+        # Per-solver observability: requests by requested portfolio label,
+        # search solves by the winning strategy's name.
+        self._solver_requests: Dict[str, int] = {}
+        self._solver_solves: Dict[str, int] = {}
 
     # ----------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -196,6 +216,7 @@ class SolverService:
         kind: str = "costas",
         priority: int = 0,
         max_time: Optional[float] = None,
+        solver: Optional[Any] = None,
         use_store: Optional[bool] = None,
         use_constructions: Optional[bool] = None,
     ) -> ServiceRequest:
@@ -206,6 +227,14 @@ class SolverService:
         solve finishes.  Raises
         :class:`~repro.service.scheduler.SchedulerSaturatedError` when the
         search queue is full.
+
+        ``solver`` selects the search strategy (or a portfolio raced
+        first-past-the-post) from the :mod:`repro.solvers` registry; it only
+        affects the search tier — a store or construction hit answers the
+        *instance* regardless of which algorithm was requested (pass
+        ``use_store=False``/``use_constructions=False`` to force the solver
+        to actually run).  Unknown solver names raise
+        :class:`~repro.exceptions.SolverError` before anything is queued.
 
         ``use_store=False`` opts this request out of being *answered* from
         the store (a fresh solve is wanted); whether results are *inserted*
@@ -218,6 +247,16 @@ class SolverService:
             raise SolverError(f"unsupported problem kind {kind!r}")
         if order < 3:
             raise SolverError(f"order must be >= 3, got {order}")
+        # Validate and canonicalise the solver selection up front, so a bad
+        # name fails fast (HTTP 400) instead of failing inside a worker.
+        specs = resolve_portfolio(
+            solver if solver is not None else self.config.default_solver
+        )
+        solver_label = portfolio_label(specs)
+        with self._lock:
+            self._solver_requests[solver_label] = (
+                self._solver_requests.get(solver_label, 0) + 1
+            )
         self.start()
         request_id = f"r{next(self._req_counter)}"
         future: Future = Future()
@@ -260,10 +299,16 @@ class SolverService:
                 )
                 return request
 
-        # Tier 3: coalesced search on the warm pool.
+        # Tier 3: coalesced search on the warm pool.  A single-member
+        # portfolio travels as one spec dict; a real portfolio as a list the
+        # pool assigns round-robin.
+        solver_payload = (
+            specs[0].as_dict() if len(specs) == 1 else [s.as_dict() for s in specs]
+        )
         payload = {
             "kind": kind,
             "order": int(order),
+            "solver": solver_payload,
             "params": None,
             "max_time": max_time if max_time is not None else self.config.default_max_time,
             "model_options": {},
@@ -302,8 +347,18 @@ class SolverService:
 
     @staticmethod
     def _instance_key(kind: str, order: int, payload: Dict[str, Any]) -> Tuple[Any, ...]:
-        """Identity under which concurrent requests coalesce."""
-        return (kind, int(order), payload.get("max_time"))
+        """Identity under which concurrent requests coalesce.
+
+        The solver selection is part of the identity: a ``tabu`` request must
+        not piggyback on an in-flight ``adaptive`` solve of the same order —
+        the client asked for that algorithm's walk to run.
+        """
+        return (
+            kind,
+            int(order),
+            payload.get("max_time"),
+            canonical_portfolio(payload.get("solver")),
+        )
 
     def _resolve(
         self,
@@ -367,18 +422,54 @@ class SolverService:
                     return
                 continue
             self._searches += 1
+            # A heterogeneous portfolio needs one walk per member to actually
+            # race; a larger walks_per_job fans each member out over seeds too.
+            solver = job.payload.get("solver")
+            members = len(solver) if isinstance(solver, (list, tuple)) else 1
+            walks = max(self.config.walks_per_job, members)
+            # The permit already held covers walks_per_job walks; a wider
+            # portfolio job pays for the extra workers it occupies (capped at
+            # the whole pool so an oversized portfolio throttles rather than
+            # deadlocks), keeping the slot-gating backpressure honest.
+            walks_per_permit = max(1, self.config.walks_per_job)
+            permits = min(-(-walks // walks_per_permit), self._total_slots)
+            # Waiting here holds up later (possibly narrower) jobs — the
+            # dispatch order is deliberately FIFO-by-priority, a wide
+            # portfolio is not allowed to be overtaken into starvation — but
+            # a job whose every ticket was cancelled must not keep hoarding
+            # permits nobody is waiting on.
+            extra_held = 0
+            abort: Optional[BaseException] = None
+            while extra_held < permits - 1:
+                if self.scheduler.closed:
+                    abort = SolverError("service is closed")
+                    break
+                if not job.tickets:
+                    abort = CancelledError()
+                    break
+                if self._slots.acquire(timeout=0.2):
+                    extra_held += 1
+            if abort is not None:
+                for _ in range(extra_held + 1):
+                    self._slots.release()
+                self.scheduler.fail(job, abort)
+                if self.scheduler.closed:
+                    return
+                continue
             try:
                 handle = self.pool.submit(
                     job.payload,
-                    walks=self.config.walks_per_job,
+                    walks=walks,
                     on_done=lambda h, job=job: self._on_pool_done(job, h),
                 )
             except ReproError as exc:
-                self._slots.release()
+                for _ in range(permits):
+                    self._slots.release()
                 self.scheduler.fail(job, exc)
                 continue
             with self._lock:
                 self._job_handles[id(job)] = handle
+                self._job_permits[id(job)] = permits
             # A cancellation that landed between next_job() and the handle
             # registration above found nothing to abort; re-check now that
             # the handle is visible so the walk doesn't run (for up to its
@@ -388,9 +479,11 @@ class SolverService:
 
     def _on_pool_done(self, job: Job, handle: PoolJobHandle) -> None:
         """Pool collector callback: persist, then fan the result out."""
-        self._slots.release()
         with self._lock:
             self._job_handles.pop(id(job), None)
+            permits = self._job_permits.pop(id(job), 1)
+        for _ in range(permits):
+            self._slots.release()
         best = handle.best
         if handle.cancelled and (best is None or not best.solved):
             self.scheduler.fail(job, CancelledError())
@@ -402,6 +495,11 @@ class SolverService:
             )
             return
         solution = best.configuration if best.solved else None
+        if best.solved:
+            with self._lock:
+                self._solver_solves[best.solver] = (
+                    self._solver_solves.get(best.solver, 0) + 1
+                )
         if best.solved and self.config.use_store:
             try:
                 self.store.insert(job.payload["kind"], solution, source="search")
@@ -419,6 +517,7 @@ class SolverService:
                     "iterations": int(best.iterations),
                     "wall_time": float(best.wall_time),
                     "stop_reason": best.stop_reason,
+                    "solver": best.solver,
                     "walks": handle.walks,
                     "coalesced_width": job.width,
                 },
@@ -469,11 +568,19 @@ class SolverService:
             )
             immediate = dict(self._immediate)
             searches = self._searches
+            solver_requests = dict(self._solver_requests)
+            solver_solves = dict(self._solver_solves)
         return {
             "uptime": time.time() - self._started_at,
             "open_requests": open_requests,
             "immediate": immediate,
             "searches_dispatched": searches,
+            "solvers": {
+                # Requests by the portfolio label clients asked for, search
+                # solves by the strategy that actually won the race.
+                "requests": solver_requests,
+                "solved": solver_solves,
+            },
             "store": self.store.snapshot(),
             "scheduler": self.scheduler.stats(),
             "pool": self.pool.stats(),
@@ -481,6 +588,7 @@ class SolverService:
                 "n_workers": self.pool.n_workers,
                 "walks_per_job": self.config.walks_per_job,
                 "max_queue_depth": self.config.max_queue_depth,
+                "default_solver": self._default_solver_label,
                 "use_store": self.config.use_store,
                 "use_constructions": self.config.use_constructions,
             },

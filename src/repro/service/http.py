@@ -4,10 +4,15 @@ Endpoints
 ---------
 ``POST /solve``
     Body ``{"order": 18, "kind": "costas", "priority": 0, "max_time": 60,
-    "wait": false}``.  Returns ``200`` with the full result when it resolved
-    immediately (store / construction tier, or ``wait=true``), else ``202``
-    with ``{"request_id": ..., "status": "pending"}``.  A saturated queue
-    answers ``503`` (backpressure made visible).
+    "solver": "tabu", "wait": false}``.  ``solver`` selects any strategy of
+    the :mod:`repro.solvers` registry, an inline portfolio
+    (``"adaptive+tabu"``, raced first-past-the-post), a named portfolio
+    (``"mixed"``), a spec object (``{"name": "tabu", "params": {...}}``) or a
+    list of spec objects; omitted = the server's default solver.  Returns
+    ``200`` with the full result when it resolved immediately (store /
+    construction tier, or ``wait=true``), else ``202`` with
+    ``{"request_id": ..., "status": "pending"}``.  A saturated queue answers
+    ``503`` (backpressure made visible); an unknown solver answers ``400``.
 ``GET /result/<request_id>``
     ``200`` with the result, ``202`` while pending, ``404`` for unknown ids,
     ``499``-style ``409`` for cancelled requests.
@@ -128,6 +133,7 @@ class _Handler(BaseHTTPRequestHandler):
                 kind=str(payload.get("kind", "costas")),
                 priority=priority,
                 max_time=max_time,
+                solver=payload.get("solver"),
                 use_store=payload.get("use_store"),
                 use_constructions=payload.get("use_constructions"),
             )

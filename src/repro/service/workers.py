@@ -33,11 +33,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.engine import AdaptiveSearch
 from repro.core.params import ASParameters
 from repro.core.result import SolveResult
 from repro.exceptions import ParallelExecutionError
 from repro.parallel.liveness import DeadProcessDetector, poll_interval
+from repro.solvers import run_spec
 
 __all__ = ["WorkerPool", "PoolJobHandle"]
 
@@ -59,7 +59,11 @@ def _pool_worker(
 
     Loops forever: pull ``(job_id, walk_index, spec)``, announce the claim,
     solve, report.  ``spec`` is a plain dict (picklable under ``spawn``):
-    ``{"kind", "order", "params": dict | None, "seed", "max_time", "model_options"}``.
+    ``{"kind", "order", "solver": spec-dict | None, "params": dict | None,
+    "seed", "max_time", "model_options"}``.  ``solver`` selects any strategy
+    of the :mod:`repro.solvers` registry (``None`` = Adaptive Search);
+    ``params`` is the legacy engine-parameter override honoured by adaptive
+    walks only — solver-specific parameters travel inside ``solver``.
     """
     while not shutdown_event.is_set():
         try:
@@ -74,18 +78,17 @@ def _pool_worker(
         try:
             factory = factory_registry[spec["kind"]]
             problem = factory(spec["order"], **spec.get("model_options", {}))
-            params = (
-                ASParameters(**spec["params"])
-                if spec.get("params") is not None
-                else ASParameters.for_costas(spec["order"])
+            as_params = (
+                ASParameters(**spec["params"]) if spec.get("params") is not None else None
             )
-            engine = AdaptiveSearch()
-            result = engine.solve(
+            result = run_spec(
+                spec.get("solver"),
                 problem,
                 seed=spec["seed"],
-                params=params,
+                problem_kind=spec["kind"],
                 stop_check=cancel_event.is_set,
                 max_time=spec.get("max_time"),
+                as_params=as_params,
             )
             result.extra["worker_id"] = worker_id
             result.extra["walk_index"] = walk_index
@@ -229,6 +232,10 @@ class WorkerPool:
         ``on_done`` fires exactly once from the collector thread when the job
         settles (first solved walk wins and cancels its siblings; an unsolved
         job settles when every walk reported).
+
+        When ``spec["solver"]`` is a *list* of solver spec dicts (a
+        heterogeneous portfolio), walks are assigned members round-robin, so
+        the job races different strategies first-past-the-post.
         """
         if not self._started:
             self.start()
@@ -247,14 +254,23 @@ class WorkerPool:
                 submitted_at=time.perf_counter(),
             )
             self._jobs[job_id] = handle
-            seeds = self._next_seeds(walks)
-            base = dict(spec)
-            for walk_index, seed in enumerate(seeds):
-                walk_spec = dict(base)
-                walk_spec["seed"] = int(seed)
-                self._job_queue.put((job_id, walk_index, walk_spec))
+            for walk_index in range(walks):
+                self._job_queue.put((job_id, walk_index, self._walk_spec(handle, walk_index)))
                 self._walks_run += 1
         return handle
+
+    def _walk_spec(self, handle: PoolJobHandle, walk_index: int) -> Dict[str, Any]:
+        """One walk's job spec: fresh seed, portfolio member picked round-robin.
+
+        Also used by the requeue paths (stale cancel, dead worker) so a
+        requeued walk keeps racing with the *same* strategy it was assigned.
+        """
+        walk_spec = dict(handle.spec)
+        solver = handle.spec.get("solver")
+        if isinstance(solver, (list, tuple)) and solver:
+            walk_spec["solver"] = solver[walk_index % len(solver)]
+        walk_spec["seed"] = self._next_seeds(1)[0]
+        return walk_spec
 
     def _next_seeds(self, count: int) -> List[int]:
         children = self._seed_seq.spawn(count)
@@ -339,9 +355,9 @@ class WorkerPool:
                 # A stale cancel event (set for this slot's previous job just
                 # as it finished) aborted an innocent walk: requeue it.
                 handle.retries[walk_index] = handle.retries.get(walk_index, 0) + 1
-                walk_spec = dict(handle.spec)
-                walk_spec["seed"] = self._next_seeds(1)[0]
-                self._job_queue.put((handle.job_id, walk_index, walk_spec))
+                self._job_queue.put(
+                    (handle.job_id, walk_index, self._walk_spec(handle, walk_index))
+                )
                 return
             handle.results.append(result)
             handle.outstanding -= 1
@@ -402,9 +418,9 @@ class WorkerPool:
                             handle.outstanding -= 1
                         elif retries < _MAX_WALK_RETRIES:
                             handle.retries[walk_index] = retries + 1
-                            walk_spec = dict(handle.spec)
-                            walk_spec["seed"] = self._next_seeds(1)[0]
-                            self._job_queue.put((handle.job_id, walk_index, walk_spec))
+                            self._job_queue.put(
+                                (handle.job_id, walk_index, self._walk_spec(handle, walk_index))
+                            )
                         else:
                             handle.failure = (
                                 f"worker {worker_id} died repeatedly on walk {walk_index}"

@@ -1,0 +1,149 @@
+"""Per-family serving benchmark: time-to-first-solution and store-hit rate.
+
+Runs the same request pattern against one :class:`~repro.service.api.SolverService`
+for every family of the :mod:`repro.problems` registry:
+
+* **first** — one cold request with constructions enabled: the construction
+  tier answers Costas/Queens/All-Interval orders algebraically, Magic Square
+  (no construction) falls through to search.  This is the user-visible
+  time-to-first-solution.
+* **search** — one request with store and constructions disabled: how long a
+  genuine search-tier solve of the family takes on the warm pool.
+* **hits** — a burst of repeat requests for the same instance: all of them
+  must be answered from the persistent store (the hit *rate* is the
+  acceptance signal; the hit latency is the service's steady-state cost).
+
+Results go to ``BENCH_families.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_families.py
+    PYTHONPATH=src python benchmarks/bench_families.py --smoke --out smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.problems import get_family
+from repro.service.api import ServiceConfig, SolverService
+
+#: (first/hits order, search order) per family.  Search orders are small
+#: enough that one multi-walk job answers in seconds on two workers.
+_ORDERS = {
+    "costas": (16, 10),
+    "queens": (40, 9),
+    "all-interval": (24, 9),
+    "magic-square": (4, 3),
+}
+_SMOKE_ORDERS = {
+    "costas": (12, 9),
+    "queens": (16, 8),
+    "all-interval": (12, 8),
+    "magic-square": (4, 3),
+}
+
+
+def bench_family(
+    service: SolverService, kind: str, serve_order: int, search_order: int, repeats: int
+) -> Dict[str, object]:
+    family = get_family(kind)
+
+    start = time.perf_counter()
+    first = service.submit(serve_order, kind=kind).result(timeout=300)
+    t_first = time.perf_counter() - start
+    assert first.solved, f"{kind} order {serve_order} did not solve"
+
+    start = time.perf_counter()
+    searched = service.submit(
+        search_order, kind=kind, use_store=False, use_constructions=False
+    ).result(timeout=300)
+    t_search = time.perf_counter() - start
+    assert searched.solved, f"{kind} search order {search_order} did not solve"
+
+    hits = 0
+    hit_latencies = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        response = service.submit(serve_order, kind=kind).result(timeout=60)
+        hit_latencies.append(time.perf_counter() - start)
+        hits += int(response.source == "store")
+
+    return {
+        "kind": kind,
+        "symmetry_group": family.symmetry.name,
+        "symmetry_order": family.symmetry.order,
+        "serve_order": serve_order,
+        "search_order": search_order,
+        "first_source": first.source,
+        "time_to_first_solution_s": t_first,
+        "search_time_s": t_search,
+        "search_source": searched.source,
+        "repeat_requests": repeats,
+        "store_hits": hits,
+        "store_hit_rate": hits / repeats if repeats else 0.0,
+        "store_hit_p50_ms": sorted(hit_latencies)[len(hit_latencies) // 2] * 1000.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small orders, CI-sized run")
+    parser.add_argument("--repeats", type=int, default=20, help="repeat requests per family")
+    parser.add_argument("--workers", type=int, default=2, help="worker pool size")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_families.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    orders = _SMOKE_ORDERS if args.smoke else _ORDERS
+    config = ServiceConfig(
+        store_path=":memory:", n_workers=args.workers, default_max_time=240.0
+    )
+    rows = []
+    wall_start = time.perf_counter()
+    with SolverService(config) as service:
+        for kind, (serve_order, search_order) in orders.items():
+            row = bench_family(service, kind, serve_order, search_order, args.repeats)
+            rows.append(row)
+            print(
+                f"{kind:14s} first={row['time_to_first_solution_s'] * 1000:8.2f}ms "
+                f"({row['first_source']:12s}) search={row['search_time_s']:6.2f}s "
+                f"hit_rate={row['store_hit_rate']:.0%} "
+                f"hit_p50={row['store_hit_p50_ms']:.2f}ms"
+            )
+        kinds_stats = service.stats()["kinds"]
+    wall = time.perf_counter() - wall_start
+
+    payload = {
+        "benchmark": "bench_families",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "wall_seconds": wall,
+        "families": rows,
+        "service_kind_counters": kinds_stats,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out} ({wall:.1f}s total)")
+
+    # Acceptance gates: every family served, every repeat answered from the
+    # store (rate 1.0 — the whole point of symmetry-class keying).
+    for row in rows:
+        if row["store_hit_rate"] < 1.0:
+            print(f"error: {row['kind']} store-hit rate {row['store_hit_rate']:.0%} < 100%",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,9 @@ Commands
 ``repro solvers``
     List the registered search strategies, their parameter dataclasses and
     defaults (``--json`` for machine-readable output).
+``repro problems``
+    List the registered problem families: symmetry groups, construction
+    shortcuts, minimum orders (``--json`` for machine-readable output).
 ``repro serve``
     Run the solver-as-a-service HTTP server (persistent solution store,
     request coalescing, long-lived worker pool).
@@ -28,6 +31,10 @@ Commands
 name (``tabu``), an inline portfolio (``adaptive+tabu``, raced
 first-past-the-post across walks) or a named portfolio (``mixed``);
 ``solve`` runs a single walk, so it accepts a single solver name only.
+
+``solve``, ``parallel`` and ``request`` accept ``--kind`` with any family of
+the :mod:`repro.problems` registry (``costas``, ``queens``, ``all-interval``,
+``magic-square``); the default is the paper's Costas Array Problem.
 """
 
 from __future__ import annotations
@@ -51,8 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_solve = sub.add_parser("solve", help="solve one CAP instance sequentially")
-    p_solve.add_argument("order", type=int, help="Costas array order (n >= 3)")
+    p_solve = sub.add_parser("solve", help="solve one problem instance sequentially")
+    p_solve.add_argument("order", type=int, help="instance order (e.g. Costas n >= 3)")
+    p_solve.add_argument(
+        "--kind",
+        default="costas",
+        help="problem family to solve (see 'repro problems'); default: costas",
+    )
     p_solve.add_argument("--seed", type=int, default=None, help="random seed")
     p_solve.add_argument("--basic", action="store_true", help="use the basic (untuned) model")
     p_solve.add_argument("--quiet", action="store_true", help="only print the permutation")
@@ -70,8 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-time", type=float, default=None, help="wall-clock limit (s)"
     )
 
-    p_par = sub.add_parser("parallel", help="solve one CAP instance with multi-walk processes")
+    p_par = sub.add_parser(
+        "parallel", help="solve one instance with multi-walk processes"
+    )
     p_par.add_argument("order", type=int)
+    p_par.add_argument(
+        "--kind",
+        default="costas",
+        help="problem family to solve (see 'repro problems'); default: costas",
+    )
     p_par.add_argument("--workers", type=int, default=None, help="number of worker processes")
     p_par.add_argument("--seed", type=int, default=None, help="root seed")
     p_par.add_argument("--max-time", type=float, default=None, help="wall-clock limit (s)")
@@ -112,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
 
+    p_problems = sub.add_parser(
+        "problems", help="list registered problem families and their properties"
+    )
+    p_problems.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     p_serve = sub.add_parser("serve", help="run the solver-as-a-service HTTP server")
     p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
     p_serve.add_argument("--port", type=int, default=8000, help="TCP port")
@@ -134,7 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--quiet", action="store_true", help="suppress per-request logging")
 
     p_req = sub.add_parser("request", help="submit one request to a running server")
-    p_req.add_argument("order", type=int, help="Costas array order")
+    p_req.add_argument("order", type=int, help="instance order")
+    p_req.add_argument(
+        "--kind",
+        default="costas",
+        help="problem family to request (see 'repro problems'); default: costas",
+    )
     p_req.add_argument("--url", default="http://127.0.0.1:8000", help="server base URL")
     p_req.add_argument("--priority", type=int, default=0, help="scheduling priority")
     p_req.add_argument("--max-time", type=float, default=None, help="per-walk budget (s)")
@@ -149,8 +180,77 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _solve_family(args: argparse.Namespace, family) -> int:
+    """Sequential solve of a non-Costas family through the two registries."""
+    from repro.exceptions import SolverError
+    from repro.solvers import resolve_portfolio, run_spec
+
+    if args.construct_first:
+        solution = family.try_construct(args.order)
+        if solution is not None:
+            values = [int(v) + 1 for v in solution]
+            if args.quiet:
+                print(values)
+            else:
+                print(f"constructed algebraically ({family.name}, order {args.order})")
+                print("solution (1-based):", values)
+            return 0
+        if not args.quiet:
+            print(
+                f"no algebraic construction for {family.name} order {args.order}; "
+                "falling back to search"
+            )
+
+    if args.basic:
+        # The basic/optimised model split is a Costas-specific ablation.
+        print(
+            f"error: --basic only applies to the costas family, not {family.name}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        specs = resolve_portfolio(args.solver)
+        if len(specs) > 1:
+            print(
+                f"error: {args.solver!r} is a portfolio; sequential solve "
+                "runs one walk — use 'repro parallel --solver' to race it",
+                file=sys.stderr,
+            )
+            return 1
+        result = run_spec(
+            specs[0],
+            family.make(args.order),
+            seed=args.seed,
+            problem_kind=family.name,
+            max_time=args.max_time,
+        )
+    except SolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.quiet:
+        if not result.solved:
+            print(f"unsolved: {result.summary()}", file=sys.stderr)
+            return 1
+        print([int(v) + 1 for v in result.configuration])
+        return 0
+    print(result.summary())
+    if result.solved:
+        print("solution (1-based):", [int(v) + 1 for v in result.configuration])
+    return 0 if result.solved else 1
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro import ASParameters, solve_costas
+    from repro.exceptions import SolverError
+    from repro.problems import get_family
+
+    try:
+        family = get_family(args.kind)
+    except SolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if family.name != "costas":
+        return _solve_family(args, family)
 
     if args.construct_first:
         from repro.costas import construct
@@ -235,14 +335,37 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     from repro.costas import CostasArray
     from repro.exceptions import SolverError
 
+    from repro.problems import get_family
+
     try:
-        outcome = parallel_solve_costas(
-            args.order,
-            n_workers=args.workers,
-            solver=args.solver,
-            seed_root=args.seed,
-            max_time=args.max_time,
-        )
+        family = get_family(args.kind)
+        if args.order < family.min_order:
+            # Validate in the parent: otherwise every worker child dies on
+            # the same SolverError and the CLI shows a worker-crash traceback.
+            raise SolverError(
+                f"{family.name} order must be >= {family.min_order}, got {args.order}"
+            )
+        if family.name == "costas":
+            outcome = parallel_solve_costas(
+                args.order,
+                n_workers=args.workers,
+                solver=args.solver,
+                seed_root=args.seed,
+                max_time=args.max_time,
+            )
+        else:
+            from repro.core.params import ASParameters
+            from repro.parallel.multiwalk import MultiWalkSolver
+            from repro.problems import problem_factory
+
+            multiwalk = MultiWalkSolver(
+                problem_factory(family.name, args.order),
+                ASParameters.for_problem_size(family.instance_size(args.order)),
+                solver=args.solver,
+                n_workers=args.workers,
+                seed_root=args.seed,
+            )
+            outcome = multiwalk.solve(max_time=args.max_time)
     except SolverError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -253,8 +376,14 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     )
     print(outcome.best.summary())
     if outcome.solved:
-        array = CostasArray.from_permutation(outcome.best.configuration)
-        print("permutation (1-based):", list(array.to_one_based()))
+        if family.name == "costas":
+            array = CostasArray.from_permutation(outcome.best.configuration)
+            print("permutation (1-based):", list(array.to_one_based()))
+        else:
+            print(
+                "solution (1-based):",
+                [int(v) + 1 for v in outcome.best.configuration],
+            )
     return 0 if outcome.solved else 1
 
 
@@ -364,6 +493,27 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_problems(args: argparse.Namespace) -> int:
+    from repro.problems import list_families
+
+    if args.json:
+        payload = {"problems": [family.describe() for family in list_families()]}
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    for family in list_families():
+        aliases = f" (aliases: {', '.join(family.aliases)})" if family.aliases else ""
+        print(f"{family.name}{aliases}")
+        print(f"    {family.summary}")
+        print(
+            f"    symmetry: {family.symmetry.name} "
+            f"(order {family.symmetry.order}); min order: {family.min_order}"
+        )
+        shortcut = "yes" if family.construct is not None else "no"
+        print(f"    algebraic construction: {shortcut}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -423,7 +573,7 @@ def _cmd_request(args: argparse.Namespace) -> int:
         except urllib.error.HTTPError as exc:
             return exc.code, json.loads(exc.read().decode("utf-8") or "{}")
 
-    body = {"order": args.order, "priority": args.priority}
+    body = {"order": args.order, "kind": args.kind, "priority": args.priority}
     if args.max_time is not None:
         body["max_time"] = args.max_time
     if args.solver is not None:
@@ -462,8 +612,10 @@ def _cmd_request(args: argparse.Namespace) -> int:
     solver = (payload.get("detail") or {}).get("solver")
     if solver:
         via = f"{via} ({solver})"
-    print(f"order {args.order} via {via} in {payload['elapsed']:.4f}s")
-    print("permutation (1-based):", [v + 1 for v in solution])
+    kind = payload.get("kind", args.kind)
+    print(f"{kind} order {args.order} via {via} in {payload['elapsed']:.4f}s")
+    label = "permutation" if kind == "costas" else "solution"
+    print(f"{label} (1-based):", [v + 1 for v in solution])
     return 0
 
 
@@ -475,6 +627,7 @@ _DISPATCH = {
     "experiment": _cmd_experiment,
     "list-experiments": _cmd_list_experiments,
     "solvers": _cmd_solvers,
+    "problems": _cmd_problems,
     "serve": _cmd_serve,
     "request": _cmd_request,
 }

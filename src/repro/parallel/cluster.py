@@ -36,6 +36,7 @@ so they scale exactly like the paper's observation that JUGENE cores are
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -151,6 +152,11 @@ class ParallelRunEstimate:
     solved: bool
     #: Sum of iterations executed by all cores until termination (total work).
     total_iterations: int
+    #: Fraction of the bootstrap pool that was budget-censored (unsolved
+    #: walks, which resampling necessarily skips).  A high value means the
+    #: pool under-represents slow walks and the estimate is biased low;
+    #: 0.0 for ``direct`` and ``exponential`` sampling.
+    censored_fraction: float = 0.0
 
 
 class VirtualCluster:
@@ -207,6 +213,11 @@ class VirtualCluster:
             )
 
     # --------------------------------------------------------------- simulation
+    #: Above this censored fraction a bootstrap pool is considered unusable
+    #: without an explicit opt-in: the resampled times would mostly describe
+    #: the lucky minority of walks that finished within budget.
+    MAX_CENSORED_FRACTION = 0.5
+
     def simulate_run(
         self,
         samples: Sequence[WalkSample],
@@ -215,6 +226,7 @@ class VirtualCluster:
         *,
         sampling: str = "bootstrap",
         exponential_fit: Optional[tuple[float, float]] = None,
+        allow_censored: bool = False,
     ) -> ParallelRunEstimate:
         """Simulate one k-core run by drawing k walks and applying the protocol.
 
@@ -232,9 +244,19 @@ class VirtualCluster:
             ``"bootstrap"`` (resample the pool) or ``"exponential"`` (sample a
             shifted exponential; requires ``exponential_fit=(shift, scale)``
             in iteration units).
+        allow_censored:
+            Bootstrap resampling can only draw the *solved* walks, so a pool
+            with many budget-censored (unsolved) samples biases
+            time-to-solution low.  When more than
+            :data:`MAX_CENSORED_FRACTION` of the pool is censored the run is
+            refused with :class:`~repro.exceptions.AnalysisError` unless this
+            flag is set, in which case a :class:`UserWarning` is emitted and
+            the bias is surfaced on
+            :attr:`ParallelRunEstimate.censored_fraction`.
         """
         self._check_cores(cores)
         generator = ensure_generator(rng)
+        censored_fraction = 0.0
 
         if sampling == "bootstrap":
             if not samples:
@@ -244,6 +266,18 @@ class VirtualCluster:
             )
             if solved_pool.size == 0:
                 raise AnalysisError("the run pool contains no solved walks")
+            censored_fraction = 1.0 - solved_pool.size / len(samples)
+            if censored_fraction > self.MAX_CENSORED_FRACTION:
+                message = (
+                    f"{censored_fraction:.0%} of the run pool is budget-censored "
+                    "(unsolved); bootstrap estimates from the solved minority "
+                    "are biased low"
+                )
+                if not allow_censored:
+                    raise AnalysisError(
+                        message + " — pass allow_censored=True to proceed anyway"
+                    )
+                warnings.warn(message, UserWarning, stacklevel=2)
             draws = generator.choice(solved_pool, size=cores, replace=True)
         elif sampling == "exponential":
             if exponential_fit is None:
@@ -269,6 +303,7 @@ class VirtualCluster:
             wall_time=self.seconds(winning),
             solved=True,
             total_iterations=int(round(total)),
+            censored_fraction=censored_fraction,
         )
 
     def simulate_many(
@@ -280,6 +315,7 @@ class VirtualCluster:
         *,
         sampling: str = "bootstrap",
         exponential_fit: Optional[tuple[float, float]] = None,
+        allow_censored: bool = False,
     ) -> List[ParallelRunEstimate]:
         """Simulate *repetitions* independent k-core runs (one table cell of the paper)."""
         if repetitions < 1:
@@ -292,6 +328,7 @@ class VirtualCluster:
                 generator,
                 sampling=sampling,
                 exponential_fit=exponential_fit,
+                allow_censored=allow_censored,
             )
             for _ in range(repetitions)
         ]

@@ -83,9 +83,13 @@ class ChaoticSeedSequence:
     def _step(self) -> float:
         x, a = self._x, self._a
         x = x / a if x < a else (1.0 - x) / (1.0 - a)
-        # Keep the trajectory away from the absorbing endpoints.
+        # Keep the trajectory away from the absorbing endpoints.  The re-seed
+        # must mix the key, not just the counter: two sequences with
+        # different keys that escape at the same counter would otherwise
+        # collapse onto identical trajectories from that point on.
         if x <= 1e-12 or x >= 1.0 - 1e-12:
-            x = ((_splitmix64(self._counter) / 2**64) * 0.999998) + 0.000001
+            reseed = _splitmix64(self._counter ^ _splitmix64(self._key))
+            x = ((reseed / 2**64) * 0.999998) + 0.000001
         self._x = x
         return x
 

@@ -1,13 +1,15 @@
 """The :class:`SolverService` facade: store -> construction -> scheduler -> pool.
 
-A request for "a Costas array of order n" flows through three tiers, cheapest
-first:
+A request for "a solution of kind k and order n" — any family of the
+:mod:`repro.problems` registry: Costas, N-Queens, All-Interval, Magic
+Square — flows through three tiers, cheapest first:
 
-1. **Store** — a previously solved (or symmetry-equivalent) instance answers
-   from SQLite in microseconds.
-2. **Construction** — orders with a Welch / Lempel / Golomb construction
-   (:mod:`repro.costas.constructions`) are answered algebraically and the
-   result is inserted into the store, so the search tier never sees them.
+1. **Store** — a previously solved (or symmetry-equivalent under the
+   family's own group) instance answers from SQLite in microseconds.
+2. **Construction** — orders with an algebraic shortcut (Welch / Lempel /
+   Golomb for Costas, the modular closed form for N-Queens, the zigzag for
+   All-Interval) are answered without search and the result is inserted into
+   the store, so the search tier never sees them.
 3. **Search** — everything else is admitted to the coalescing scheduler and
    solved by the long-lived worker pool; the solution is inserted into the
    store on the way out, upgrading all future requests for its symmetry class
@@ -25,16 +27,21 @@ import threading
 import time
 from concurrent.futures import CancelledError, Future, InvalidStateError
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.costas.constructions import available_constructions, construct
-from repro.exceptions import ConstructionError, ReproError, SolverError
+from repro.exceptions import ReproError, SolverError
+from repro.problems import get_family
 from repro.service.scheduler import Job, RequestScheduler, Ticket
 from repro.service.store import SolutionStore
 from repro.service.workers import PoolJobHandle, WorkerPool
-from repro.solvers import canonical_portfolio, portfolio_label, resolve_portfolio
+from repro.solvers import (
+    canonical_portfolio,
+    get_solver,
+    portfolio_label,
+    resolve_portfolio,
+)
 
 __all__ = ["ServiceConfig", "ServiceRequest", "ServiceResponse", "SolverService"]
 
@@ -158,6 +165,8 @@ class SolverService:
         self._started_at = time.time()
         self._immediate = {"store": 0, "construction": 0}
         self._searches = 0
+        #: Per-family observability: requests and solved responses by tier.
+        self._kinds: Dict[str, Dict[str, int]] = {}
         # Per-solver observability: requests by requested portfolio label,
         # search solves by the winning strategy's name.
         self._solver_requests: Dict[str, int] = {}
@@ -217,14 +226,19 @@ class SolverService:
         priority: int = 0,
         max_time: Optional[float] = None,
         solver: Optional[Any] = None,
+        model_options: Optional[Mapping[str, Any]] = None,
         use_store: Optional[bool] = None,
         use_constructions: Optional[bool] = None,
     ) -> ServiceRequest:
         """Submit one solve request; returns immediately with a future.
 
-        Store and construction hits resolve the future before ``submit``
-        returns; search-tier requests resolve when the (possibly shared)
-        solve finishes.  Raises
+        ``kind`` selects any family of the :mod:`repro.problems` registry
+        (``"costas"``, ``"queens"``, ``"all-interval"``, ``"magic-square"``,
+        aliases included); ``order`` is the family's natural size parameter
+        (the board/series order, the magic square's side).  Store and
+        construction hits resolve the future before ``submit`` returns;
+        search-tier requests resolve when the (possibly shared) solve
+        finishes.  Raises
         :class:`~repro.service.scheduler.SchedulerSaturatedError` when the
         search queue is full.
 
@@ -233,8 +247,13 @@ class SolverService:
         affects the search tier — a store or construction hit answers the
         *instance* regardless of which algorithm was requested (pass
         ``use_store=False``/``use_constructions=False`` to force the solver
-        to actually run).  Unknown solver names raise
+        to actually run).  Unknown solver names, unknown kinds, and
+        solver/kind mismatches (the CP solver only accepts Costas) raise
         :class:`~repro.exceptions.SolverError` before anything is queued.
+
+        ``model_options`` is forwarded to the family's problem factory in
+        the workers (e.g. ``{"err_weight": "constant"}`` for the basic
+        Costas model) and is part of the coalescing identity.
 
         ``use_store=False`` opts this request out of being *answered* from
         the store (a fresh solve is wanted); whether results are *inserted*
@@ -243,20 +262,34 @@ class SolverService:
         """
         if self._closed:
             raise SolverError("service is closed")
-        if kind != "costas":
-            raise SolverError(f"unsupported problem kind {kind!r}")
-        if order < 3:
-            raise SolverError(f"order must be >= 3, got {order}")
+        family = get_family(kind)
+        kind = family.name
+        if order < family.min_order:
+            raise SolverError(
+                f"{family.name} order must be >= {family.min_order}, got {order}"
+            )
         # Validate and canonicalise the solver selection up front, so a bad
-        # name fails fast (HTTP 400) instead of failing inside a worker.
+        # name (or a solver that cannot run this family, like CP on queens)
+        # fails fast (HTTP 400) instead of failing inside a worker.
         specs = resolve_portfolio(
             solver if solver is not None else self.config.default_solver
         )
+        for spec in specs:
+            info = get_solver(spec.name)
+            if (
+                "permutation" not in info.problem_kinds
+                and family.name not in info.problem_kinds
+            ):
+                raise SolverError(
+                    f"solver {info.name!r} does not accept problem kind "
+                    f"{family.name!r} (supports: {', '.join(info.problem_kinds)})"
+                )
         solver_label = portfolio_label(specs)
         with self._lock:
             self._solver_requests[solver_label] = (
                 self._solver_requests.get(solver_label, 0) + 1
             )
+            self._kind_counter_locked(kind, "requests")
         self.start()
         request_id = f"r{next(self._req_counter)}"
         future: Future = Future()
@@ -272,24 +305,21 @@ class SolverService:
             if use_constructions is None
             else use_constructions
         )
+        storage_n = family.instance_size(order)
 
-        # Tier 1: the persistent store (answers symmetry classes).
+        # Tier 1: the persistent store (answers whole symmetry classes).
         if lookup_store:
-            cached = self.store.get(kind, order)
+            cached = self.store.get(kind, storage_n)
             if cached is not None:
                 self._resolve(
                     request, cached, source="store", solved=True, start=start
                 )
                 return request
 
-        # Tier 2: algebraic constructions.
-        if try_construct and available_constructions(order):
-            try:
-                array = construct(order)
-            except ConstructionError:  # pragma: no cover - listed but failed
-                array = None
-            if array is not None:
-                solution = array.to_array()
+        # Tier 2: algebraic constructions (family-specific shortcuts).
+        if try_construct:
+            solution = family.try_construct(order)
+            if solution is not None:
                 if self.config.use_store:
                     self.store.insert(kind, solution, source="construction")
                 with self._lock:
@@ -311,7 +341,7 @@ class SolverService:
             "solver": solver_payload,
             "params": None,
             "max_time": max_time if max_time is not None else self.config.default_max_time,
-            "model_options": {},
+            "model_options": dict(model_options) if model_options else {},
         }
         key = self._instance_key(kind, order, payload)
         try:
@@ -349,16 +379,28 @@ class SolverService:
     def _instance_key(kind: str, order: int, payload: Dict[str, Any]) -> Tuple[Any, ...]:
         """Identity under which concurrent requests coalesce.
 
-        The solver selection is part of the identity: a ``tabu`` request must
-        not piggyback on an in-flight ``adaptive`` solve of the same order —
-        the client asked for that algorithm's walk to run.
+        ``(family, order, model_options, solver)`` plus the time budget: a
+        ``tabu`` request must not piggyback on an in-flight ``adaptive``
+        solve of the same instance — the client asked for that algorithm's
+        walk — and a basic-model Costas solve is not the same instance as
+        the optimised-model one.
         """
+        model_options = payload.get("model_options") or {}
         return (
             kind,
             int(order),
+            tuple(sorted((str(k), repr(v)) for k, v in model_options.items())),
             payload.get("max_time"),
             canonical_portfolio(payload.get("solver")),
         )
+
+    def _kind_counter_locked(self, kind: str, counter: str) -> None:
+        """Bump one per-family observability counter (caller holds the lock)."""
+        bucket = self._kinds.setdefault(
+            kind,
+            {"requests": 0, "store": 0, "construction": 0, "search": 0, "unsolved": 0},
+        )
+        bucket[counter] += 1
 
     def _resolve(
         self,
@@ -370,9 +412,10 @@ class SolverService:
         start: float,
         detail: Optional[Dict[str, Any]] = None,
     ) -> None:
-        if source == "store":
-            with self._lock:
+        with self._lock:
+            if source == "store":
                 self._immediate["store"] += 1
+            self._kind_counter_locked(request.kind, source if solved else "unsolved")
         response = ServiceResponse(
             order=request.order,
             kind=request.kind,
@@ -570,11 +613,14 @@ class SolverService:
             searches = self._searches
             solver_requests = dict(self._solver_requests)
             solver_solves = dict(self._solver_solves)
+            kinds = {kind: dict(counters) for kind, counters in self._kinds.items()}
         return {
             "uptime": time.time() - self._started_at,
             "open_requests": open_requests,
             "immediate": immediate,
             "searches_dispatched": searches,
+            # Per-family requests and solved responses by answering tier.
+            "kinds": kinds,
             "solvers": {
                 # Requests by the portfolio label clients asked for, search
                 # solves by the strategy that actually won the race.

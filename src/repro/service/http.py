@@ -4,22 +4,31 @@ Endpoints
 ---------
 ``POST /solve``
     Body ``{"order": 18, "kind": "costas", "priority": 0, "max_time": 60,
-    "solver": "tabu", "wait": false}``.  ``solver`` selects any strategy of
-    the :mod:`repro.solvers` registry, an inline portfolio
-    (``"adaptive+tabu"``, raced first-past-the-post), a named portfolio
-    (``"mixed"``), a spec object (``{"name": "tabu", "params": {...}}``) or a
-    list of spec objects; omitted = the server's default solver.  Returns
-    ``200`` with the full result when it resolved immediately (store /
-    construction tier, or ``wait=true``), else ``202`` with
-    ``{"request_id": ..., "status": "pending"}``.  A saturated queue answers
-    ``503`` (backpressure made visible); an unknown solver answers ``400``.
+    "solver": "tabu", "model_options": {}, "wait": false}``.  ``kind``
+    selects any family of the :mod:`repro.problems` registry (``"costas"``,
+    ``"queens"``, ``"all-interval"``, ``"magic-square"``, aliases included);
+    ``solver`` selects any strategy of the :mod:`repro.solvers` registry, an
+    inline portfolio (``"adaptive+tabu"``, raced first-past-the-post), a
+    named portfolio (``"mixed"``), a spec object (``{"name": "tabu",
+    "params": {...}}``) or a list of spec objects; omitted = the server's
+    default solver.  Returns ``200`` with the full result when it resolved
+    immediately (store / construction tier, or ``wait=true``), else ``202``
+    with ``{"request_id": ..., "status": "pending"}``.  A saturated queue
+    answers ``503`` (backpressure made visible); an unknown solver or kind
+    answers ``400``, as does a chunked request body (only ``Content-Length``
+    bodies are supported).
 ``GET /result/<request_id>``
     ``200`` with the result, ``202`` while pending, ``404`` for unknown ids,
     ``499``-style ``409`` for cancelled requests.
 ``POST /cancel/<request_id>``
-    Cancel a pending request.
+    Cancel a pending request: ``200`` on success, ``404`` for unknown
+    request ids, ``409`` for requests that already settled.
+``GET /problems``
+    The registered problem families (name, aliases, symmetry group,
+    construction availability).
 ``GET /stats``
-    The combined store / scheduler / pool counters.
+    The combined store / scheduler / pool counters, including per-kind
+    request/solve breakdowns.
 ``GET /healthz``
     Liveness probe: ``{"status": "ok"}`` plus worker liveness.
 
@@ -38,14 +47,24 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.exceptions import ReproError
+from repro.problems import list_families
 from repro.service.api import ServiceConfig, SolverService
 from repro.service.scheduler import SchedulerSaturatedError
 
 __all__ = ["ServiceHTTPServer", "serve"]
 
+
+def _family_listing() -> list:
+    """JSON-friendly description of every registered problem family."""
+    return [family.describe() for family in list_families()]
+
 #: Upper bound on ``wait=true`` blocking, so a client cannot pin an HTTP
 #: thread forever.
 _MAX_WAIT_SECONDS = 600.0
+
+
+class _UnsupportedBody(Exception):
+    """A request body this front-end deliberately refuses to parse."""
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -64,10 +83,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Set by the handler when the request body was left unread (e.g.
+            # a rejected chunked body): the connection cannot be reused, and
+            # the client must be told.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
     def _read_json(self) -> Optional[Dict[str, Any]]:
+        # A chunked (or otherwise transfer-encoded) body has no
+        # Content-Length; silently treating it as empty would run the solve
+        # with default parameters instead of the client's.  Reject it loudly.
+        if self.headers.get("Transfer-Encoding") is not None:
+            raise _UnsupportedBody(
+                "unsupported Transfer-Encoding "
+                f"{self.headers['Transfer-Encoding']!r}; "
+                "send a Content-Length JSON body"
+            )
         try:
             length = int(self.headers.get("Content-Length", "0"))
             raw = self.rfile.read(length) if length else b"{}"
@@ -90,6 +123,8 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif self.path == "/stats":
             self._send_json(200, service.stats())
+        elif self.path == "/problems":
+            self._send_json(200, {"problems": _family_listing()})
         elif self.path.startswith("/result/"):
             self._get_result(self.path[len("/result/") :])
         else:
@@ -100,7 +135,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._post_solve()
         elif self.path.startswith("/cancel/"):
             request_id = self.path[len("/cancel/") :]
-            ok = self.server.service.cancel(request_id)
+            service = self.server.service
+            if service.request(request_id) is None:
+                # "No such request" is not the same condition as "too late
+                # to cancel": unknown ids are a 404, settled ones a 409.
+                self._send_json(
+                    404, {"error": f"unknown request id {request_id!r}"}
+                )
+                return
+            ok = service.cancel(request_id)
             self._send_json(
                 200 if ok else 409,
                 {"request_id": request_id, "cancelled": ok},
@@ -110,7 +153,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ---------------------------------------------------------------- handlers
     def _post_solve(self) -> None:
-        payload = self._read_json()
+        try:
+            payload = self._read_json()
+        except _UnsupportedBody as exc:
+            # The unread (chunked) body is still in the stream; reusing the
+            # keep-alive connection would parse it as the next request line.
+            self.close_connection = True
+            self._send_json(400, {"error": str(exc)})
+            return
         if payload is None or "order" not in payload:
             self._send_json(400, {"error": 'body must be JSON with an "order" field'})
             return
@@ -127,6 +177,10 @@ class _Handler(BaseHTTPRequestHandler):
         except (TypeError, ValueError):
             self._send_json(400, {"error": "priority/max_time must be numeric"})
             return
+        model_options = payload.get("model_options")
+        if model_options is not None and not isinstance(model_options, dict):
+            self._send_json(400, {"error": "model_options must be an object"})
+            return
         try:
             request = self.server.service.submit(
                 order,
@@ -134,6 +188,7 @@ class _Handler(BaseHTTPRequestHandler):
                 priority=priority,
                 max_time=max_time,
                 solver=payload.get("solver"),
+                model_options=model_options,
                 use_store=payload.get("use_store"),
                 use_constructions=payload.get("use_constructions"),
             )

@@ -1,16 +1,20 @@
 """SQLite-backed persistent solution store with symmetry-class keying.
 
-The Costas Array Problem has a dihedral symmetry group of order 8
-(:mod:`repro.costas.symmetry`): whenever a solver finds one array, seven more
-come for free.  The store exploits this by keying every solution on
+Every registered problem family carries its own symmetry group
+(:mod:`repro.problems`): the Costas dihedral-8, the N-Queens board
+rotations/reflections, the All-Interval reverse/complement pair, the Magic
+Square identity.  Whenever a solver finds one solution, the rest of its orbit
+comes for free, and the store exploits this by keying every solution on
 ``(problem_kind, n, canonical_form)`` — the lexicographically smallest element
-of the symmetry orbit — so
+of the orbit under *that family's* group — so
 
 * two processes that independently solve symmetry-equivalent arrays insert
   **one** row (``INSERT OR IGNORE`` on the canonical key), and
-* a read for order ``n`` can expand any of the 8 variants of a stored row on
+* a read for order ``n`` can expand any group variant of a stored row on
   demand (:meth:`SolutionStore.get` with ``variant=``), answering the whole
-  equivalence class from a single stored array.
+  equivalence class from a single stored array.  Only elements of the
+  family's own group are ever applied: a stored queens solution is expanded
+  through board symmetries, never through transforms of another family.
 
 Concurrency
 -----------
@@ -38,9 +42,8 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.costas.array import is_costas
-from repro.costas.symmetry import all_symmetries, canonical_form
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, SolverError
+from repro.problems import ProblemFamily, get_family
 
 __all__ = ["SolutionStore", "StoreStats", "StoreError"]
 
@@ -93,9 +96,9 @@ class SolutionStore:
         SQLite database file; ``":memory:"`` gives an ephemeral store (single
         connection, so only thread-safe through the internal lock).
     validate:
-        When ``True`` (default) Costas solutions are re-checked with
-        :func:`repro.costas.array.is_costas` before insertion, so a corrupted
-        worker can never poison the store.
+        When ``True`` (default) solutions are re-checked with their family's
+        validator before insertion, so a corrupted worker can never poison
+        the store.
     """
 
     def __init__(self, path: str | os.PathLike = ":memory:", *, validate: bool = True) -> None:
@@ -172,6 +175,14 @@ class SolutionStore:
         self.close()
 
     # ------------------------------------------------------------- operations
+    @staticmethod
+    def _family(problem_kind: str) -> ProblemFamily:
+        """Resolve *problem_kind* to its registered family, as a store error."""
+        try:
+            return get_family(problem_kind)
+        except SolverError as exc:
+            raise StoreError(str(exc)) from None
+
     def insert(
         self,
         problem_kind: str,
@@ -181,24 +192,26 @@ class SolutionStore:
     ) -> bool:
         """Insert a solution; returns ``True`` when its class was new.
 
-        The permutation is canonicalised first, so all eight symmetry variants
-        of one array map to the same row and concurrent inserters of
-        equivalent arrays cannot double-count: ``INSERT OR IGNORE`` on the
-        primary key makes exactly one of them win.
+        The permutation is canonicalised under its family's symmetry group
+        first, so every variant of one solution maps to the same row and
+        concurrent inserters of equivalent arrays cannot double-count:
+        ``INSERT OR IGNORE`` on the primary key makes exactly one of them win.
         """
+        family = self._family(problem_kind)
         arr = np.asarray(perm, dtype=np.int64)
-        if problem_kind == "costas" and self.validate and not is_costas(arr):
+        if self.validate and not family.validator(arr):
             raise StoreError(
-                f"refusing to store a non-Costas permutation of order {arr.size}"
+                f"refusing to store an invalid {family.name} solution "
+                f"of size {arr.size}"
             )
-        canonical = canonical_form(arr)
+        canonical = family.canonical_form(arr)
         with self._borrow() as conn:
             cursor = conn.execute(
                 "INSERT OR IGNORE INTO solutions "
                 "(problem_kind, n, canonical, solution, source, created_at, hits) "
                 "VALUES (?, ?, ?, ?, ?, ?, 0)",
                 (
-                    problem_kind,
+                    family.name,
                     int(arr.size),
                     _encode(canonical),
                     _encode(arr),
@@ -223,24 +236,27 @@ class SolutionStore:
         variant: Optional[int] = None,
         count_hit: bool = True,
     ) -> Optional[np.ndarray]:
-        """Any stored solution of order *n*, or ``None``.
+        """Any stored solution of size *n*, or ``None``.
 
-        ``variant`` (0-7) expands the requested dihedral image of the stored
-        canonical representative on demand — the read-side half of the
-        symmetry-class keying (aligned with
-        :data:`repro.costas.symmetry.SYMMETRY_NAMES`).
+        ``variant`` expands the requested group image of the stored
+        representative on demand — the read-side half of the symmetry-class
+        keying.  Indices are taken modulo the *family's own* group order and
+        aligned with its ``symmetry.element_names`` (for Costas that is
+        :data:`repro.costas.symmetry.SYMMETRY_NAMES`), so only transforms
+        valid for the family are ever applied.
         """
+        family = self._family(problem_kind)
         with self._borrow() as conn:
             row = conn.execute(
                 "SELECT canonical, solution FROM solutions "
                 "WHERE problem_kind = ? AND n = ? ORDER BY hits DESC, canonical LIMIT 1",
-                (problem_kind, int(n)),
+                (family.name, int(n)),
             ).fetchone()
             if row is not None and count_hit:
                 conn.execute(
                     "UPDATE solutions SET hits = hits + 1 "
                     "WHERE problem_kind = ? AND n = ? AND canonical = ?",
-                    (problem_kind, int(n), row[0]),
+                    (family.name, int(n), row[0]),
                 )
                 conn.commit()
         with self._stats_lock:
@@ -253,19 +269,20 @@ class SolutionStore:
         solution = _decode(row[1])
         if variant is None:
             return solution
-        return all_symmetries(solution)[variant % 8]
+        return family.symmetry.variant(solution, variant)
 
     def contains_class(
         self, problem_kind: str, perm: Sequence[int] | np.ndarray
     ) -> bool:
         """Whether the symmetry class of *perm* is already stored."""
+        family = self._family(problem_kind)
         arr = np.asarray(perm, dtype=np.int64)
-        canonical = _encode(canonical_form(arr))
+        canonical = _encode(family.canonical_form(arr))
         with self._borrow() as conn:
             row = conn.execute(
                 "SELECT 1 FROM solutions "
                 "WHERE problem_kind = ? AND n = ? AND canonical = ?",
-                (problem_kind, int(arr.size), canonical),
+                (family.name, int(arr.size), canonical),
             ).fetchone()
         return row is not None
 
@@ -275,7 +292,7 @@ class SolutionStore:
         clauses, params = [], []
         if problem_kind is not None:
             clauses.append("problem_kind = ?")
-            params.append(problem_kind)
+            params.append(self._family(problem_kind).name)
         if n is not None:
             clauses.append("n = ?")
             params.append(int(n))
@@ -290,7 +307,7 @@ class SolutionStore:
         with self._borrow() as conn:
             rows = conn.execute(
                 "SELECT DISTINCT n FROM solutions WHERE problem_kind = ? ORDER BY n",
-                (problem_kind,),
+                (self._family(problem_kind).name,),
             ).fetchall()
         return [int(r[0]) for r in rows]
 
@@ -300,11 +317,19 @@ class SolutionStore:
             (rows, total_hits) = conn.execute(
                 "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM solutions"
             ).fetchone()
+            by_kind = conn.execute(
+                "SELECT problem_kind, COUNT(*), COALESCE(SUM(hits), 0) "
+                "FROM solutions GROUP BY problem_kind"
+            ).fetchall()
         with self._stats_lock:
             counters = self.stats.as_dict()
         return {
             "path": self.path,
             "stored_classes": int(rows),
             "persistent_hits": int(total_hits),
+            "by_kind": {
+                str(kind): {"stored_classes": int(n), "persistent_hits": int(h)}
+                for kind, n, h in by_kind
+            },
             **counters,
         }

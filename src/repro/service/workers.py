@@ -53,18 +53,20 @@ def _pool_worker(
     result_queue,
     cancel_event,
     shutdown_event,
-    factory_registry: Dict[str, Callable[..., Any]],
 ) -> None:
     """Body of one long-lived worker process.
 
     Loops forever: pull ``(job_id, walk_index, spec)``, announce the claim,
     solve, report.  ``spec`` is a plain dict (picklable under ``spawn``):
     ``{"kind", "order", "solver": spec-dict | None, "params": dict | None,
-    "seed", "max_time", "model_options"}``.  ``solver`` selects any strategy
-    of the :mod:`repro.solvers` registry (``None`` = Adaptive Search);
+    "seed", "max_time", "model_options"}``.  ``kind`` selects any family of
+    the :mod:`repro.problems` registry; ``solver`` selects any strategy of
+    the :mod:`repro.solvers` registry (``None`` = Adaptive Search);
     ``params`` is the legacy engine-parameter override honoured by adaptive
     walks only — solver-specific parameters travel inside ``solver``.
     """
+    from repro.problems import make_problem
+
     while not shutdown_event.is_set():
         try:
             item = job_queue.get(timeout=0.2)
@@ -76,8 +78,9 @@ def _pool_worker(
         cancel_event.clear()
         result_queue.put(("started", worker_id, job_id, walk_index, None))
         try:
-            factory = factory_registry[spec["kind"]]
-            problem = factory(spec["order"], **spec.get("model_options", {}))
+            problem = make_problem(
+                spec["kind"], spec["order"], **spec.get("model_options", {})
+            )
             as_params = (
                 ASParameters(**spec["params"]) if spec.get("params") is not None else None
             )
@@ -95,17 +98,6 @@ def _pool_worker(
             result_queue.put(("done", worker_id, job_id, walk_index, result.as_dict()))
         except Exception as exc:  # pragma: no cover - defensive crash path
             result_queue.put(("error", worker_id, job_id, walk_index, repr(exc)))
-
-
-def _costas_problem(order: int, **model_options):
-    from repro.models.costas import CostasProblem
-
-    return CostasProblem(order, **model_options)
-
-
-#: Problem factories available inside worker processes, by problem kind.
-#: Module-level so the registry itself never needs to cross the pipe.
-FACTORY_REGISTRY: Dict[str, Callable[..., Any]] = {"costas": _costas_problem}
 
 
 @dataclass
@@ -204,7 +196,6 @@ class WorkerPool:
                 self._result_queue,
                 self._cancel_events[worker_id],
                 self._shutdown_event,
-                FACTORY_REGISTRY,
             ),
             daemon=True,
             name=f"repro-pool-worker-{worker_id}",

@@ -84,6 +84,62 @@ class TestCommands:
         assert "walks" in out
 
 
+class TestProblemsCommand:
+    def test_lists_all_families(self, capsys):
+        assert main(["problems"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("costas", "queens", "all-interval", "magic-square"):
+            assert kind in out
+        assert "dihedral-8" in out
+
+    def test_json_output(self, capsys):
+        assert main(["problems", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        listing = {entry["kind"]: entry for entry in payload["problems"]}
+        assert set(listing) == {"costas", "queens", "all-interval", "magic-square"}
+        assert listing["queens"]["has_construction"] is True
+        assert listing["magic-square"]["symmetry_order"] == 1
+        assert listing["costas"]["symmetry_elements"][0] == "identity"
+
+
+class TestSolveKind:
+    def test_solve_queens(self, capsys):
+        assert main(["solve", "8", "--kind", "queens", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "solution (1-based)" in out
+
+    def test_solve_queens_quiet_is_a_valid_solution(self, capsys):
+        import numpy as np
+
+        from repro.problems import get_family
+
+        assert main(["solve", "8", "--kind", "queens", "--seed", "1", "--quiet"]) == 0
+        values = json.loads(capsys.readouterr().out.strip().replace("'", '"'))
+        solution = np.array(values) - 1
+        assert get_family("queens").validator(solution)
+
+    def test_solve_kind_construct_first(self, capsys):
+        assert main(["solve", "12", "--kind", "all-interval", "--construct-first"]) == 0
+        out = capsys.readouterr().out
+        assert "constructed algebraically" in out
+
+    def test_solve_unknown_kind_errors(self, capsys):
+        assert main(["solve", "8", "--kind", "sudoku"]) == 1
+        assert "unknown problem kind" in capsys.readouterr().err
+
+    def test_solve_kind_with_named_solver(self, capsys):
+        assert main(
+            ["solve", "8", "--kind", "all-interval", "--solver", "tabu", "--seed", "0"]
+        ) == 0
+
+    def test_parallel_kind(self, capsys):
+        assert main(
+            ["parallel", "8", "--kind", "queens", "--workers", "1", "--seed", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "walks" in out and "solution (1-based)" in out
+
+
 class TestConvenienceApi:
     def test_solve_costas(self):
         result = repro.solve_costas(10, seed=0)
@@ -188,6 +244,39 @@ class TestServiceCommands:
             )
             out = capsys.readouterr().out
             assert code == 0 and "via store" in out
+        finally:
+            server.stop(drain=False)
+
+    def test_request_kind_round_trip_for_every_family(self, capsys, tmp_path):
+        """Acceptance criterion: `repro request --kind <k>` succeeds for all
+        four registered families against a live server."""
+        from repro.service.api import ServiceConfig
+        from repro.service.http import ServiceHTTPServer
+
+        server = ServiceHTTPServer(
+            ("127.0.0.1", 0),
+            config=ServiceConfig(
+                store_path=str(tmp_path / "kinds.db"),
+                n_workers=1,
+                default_max_time=60.0,
+            ),
+        )
+        server.start_background()
+        try:
+            url = f"http://127.0.0.1:{server.port}"
+            orders = {
+                "costas": 12,
+                "queens": 12,
+                "all-interval": 10,
+                "magic-square": 4,
+            }
+            for kind, order in orders.items():
+                code = main(
+                    ["request", str(order), "--kind", kind, "--url", url]
+                )
+                out = capsys.readouterr().out
+                assert code == 0, (kind, out)
+                assert kind in out
         finally:
             server.stop(drain=False)
 

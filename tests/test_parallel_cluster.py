@@ -94,6 +94,45 @@ class TestVirtualCluster:
         with pytest.raises(AnalysisError):
             cluster.simulate_run(unsolved, 8, rng)
 
+    def test_bootstrap_surfaces_censored_fraction(self, rng):
+        """Regression: unsolved (budget-censored) pool samples used to be
+        discarded silently; the estimate must carry the censored fraction."""
+        cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0)
+        pool = make_pool(rng, 80) + [
+            WalkSample(iterations=10_000, solved=False) for _ in range(20)
+        ]
+        estimate = cluster.simulate_run(pool, 16, rng)
+        assert estimate.censored_fraction == pytest.approx(0.2)
+        assert estimate.solved
+        # A clean pool reports zero censoring.
+        clean = cluster.simulate_run(make_pool(rng), 16, rng)
+        assert clean.censored_fraction == 0.0
+
+    def test_mostly_censored_pool_is_refused_without_opt_in(self, rng):
+        cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0)
+        pool = make_pool(rng, 20) + [
+            WalkSample(iterations=10_000, solved=False) for _ in range(80)
+        ]
+        with pytest.raises(AnalysisError, match="budget-censored"):
+            cluster.simulate_run(pool, 16, rng)
+        with pytest.raises(AnalysisError, match="budget-censored"):
+            cluster.simulate_many(pool, 16, 3, rng)
+        # The documented opt-in downgrades the refusal to a warning and
+        # surfaces the bias on the estimate.
+        with pytest.warns(UserWarning, match="biased low"):
+            estimate = cluster.simulate_run(pool, 16, rng, allow_censored=True)
+        assert estimate.censored_fraction == pytest.approx(0.8)
+        with pytest.warns(UserWarning):
+            many = cluster.simulate_many(pool, 16, 3, rng, allow_censored=True)
+        assert all(e.censored_fraction == pytest.approx(0.8) for e in many)
+
+    def test_exponential_sampling_reports_no_censoring(self, rng):
+        cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0)
+        estimate = cluster.simulate_run(
+            [], 16, rng, sampling="exponential", exponential_fit=(10.0, 500.0)
+        )
+        assert estimate.censored_fraction == 0.0
+
     def test_exponential_sampling(self, rng):
         cluster = VirtualCluster(HA8000, host_iteration_rate=1000.0)
         estimate = cluster.simulate_run(

@@ -54,6 +54,36 @@ class TestChaoticSeedSequence:
         seeds = ChaoticSeedSequence(key=key).seeds(5)
         assert len(set(seeds)) == 5
 
+    def test_endpoint_escape_reseed_mixes_the_key(self):
+        """Regression: the endpoint-escape re-seed used to derive from the
+        counter alone, so two sequences with *different* keys escaping at the
+        same counter collapsed onto identical trajectories.  The key must be
+        part of the re-seed."""
+        low, high = ChaoticSeedSequence(key=1), ChaoticSeedSequence(key=2)
+        # Force both trajectories onto an absorbing endpoint at equal counters.
+        for seq in (low, high):
+            seq._counter = 10
+            seq._x = 4e-13
+        assert low._step() != high._step()
+        # Same key, same counter, same endpoint: still deterministic.
+        a, b = ChaoticSeedSequence(key=3), ChaoticSeedSequence(key=3)
+        for seq in (a, b):
+            seq._counter = 10
+            seq._x = 4e-13
+        assert a._step() == b._step()
+
+    def test_cross_key_trajectories_stay_decorrelated_after_escape(self):
+        """After a shared escape point the *map trajectories* (not just the
+        whitened seeds) of two keys must diverge: pre-fix, both re-seeded
+        from the counter alone and walked identical orbits from there on."""
+        a, b = ChaoticSeedSequence(key=1), ChaoticSeedSequence(key=2)
+        for seq in (a, b):
+            seq._counter = 42
+            seq._x = 4e-13  # next _step lands on the escape branch
+        trajectory_a = [a._step() for _ in range(20)]
+        trajectory_b = [b._step() for _ in range(20)]
+        assert not set(trajectory_a) & set(trajectory_b)
+
     def test_seeds_drive_decorrelated_generators(self):
         # Walk seeds must produce decorrelated streams: the first draws of 100
         # generators seeded from the sequence should not repeat suspiciously.

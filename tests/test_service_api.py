@@ -182,9 +182,18 @@ class TestServiceTiers:
 
     def test_rejects_unknown_kind_and_tiny_orders(self, service):
         with pytest.raises(SolverError):
-            service.submit(9, kind="queens")
+            service.submit(9, kind="sudoku")
         with pytest.raises(SolverError):
             service.submit(2)
+        # Per-family minimum orders: queens has none below 4.
+        with pytest.raises(SolverError):
+            service.submit(3, kind="queens")
+
+    def test_rejects_solver_kind_mismatch(self, service):
+        # The CP baseline only accepts Costas instances; the mismatch must
+        # fail at submit time (HTTP 400), not inside a worker.
+        with pytest.raises(SolverError, match="does not accept"):
+            service.submit(8, kind="queens", solver="cp")
 
     def test_result_by_request_id(self, service):
         request = service.submit(10)

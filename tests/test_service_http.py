@@ -125,9 +125,10 @@ class TestEndpoints:
             assert status == 200 and payload["cancelled"]
             status, payload = _call(srv, "GET", f"/result/{rid}")
             assert status == 409 and payload["status"] == "cancelled"
-            # Cancelling again (or an unknown id) is a 409.
+            # Cancelling an already-settled request is a 409; an id the
+            # service never saw is a 404 — the two conditions are distinct.
             assert _call(srv, "POST", f"/cancel/{rid}")[0] == 409
-            assert _call(srv, "POST", "/cancel/ghost")[0] == 409
+            assert _call(srv, "POST", "/cancel/ghost")[0] == 404
         finally:
             srv.stop(drain=False)
 

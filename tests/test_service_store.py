@@ -105,6 +105,111 @@ class TestInsertAndGet:
         assert snap["hits"] == 1 and snap["inserts"] == 1
 
 
+#: One genuine solution per family (constructed where possible), plus the
+#: order it answers.
+def _family_solution(kind: str):
+    from repro.problems import get_family
+
+    family = get_family(kind)
+    if kind == "magic-square":
+        # The classic 3x3 magic square, 0-based row-major.
+        return family, np.array([1, 6, 5, 8, 4, 0, 3, 2, 7])
+    orders = {"costas": 11, "queens": 10, "all-interval": 9}
+    return family, family.try_construct(orders[kind])
+
+
+class TestMultiFamilyRoundTrips:
+    """Every registered family round-trips through the store with its own
+    symmetry group doing the dedup and the variant expansion."""
+
+    @pytest.mark.parametrize(
+        "kind", ["costas", "queens", "all-interval", "magic-square"]
+    )
+    def test_insert_get_contains_class(self, store, kind):
+        family, sol = _family_solution(kind)
+        assert store.insert(kind, sol)
+        got = store.get(kind, sol.size)
+        assert got is not None and family.validator(got)
+        assert store.contains_class(kind, sol)
+        assert store.count(kind, sol.size) == 1
+        assert store.orders(kind) == [sol.size]
+
+    @pytest.mark.parametrize(
+        "kind", ["costas", "queens", "all-interval", "magic-square"]
+    )
+    def test_whole_orbit_dedupes_to_one_row(self, kind):
+        """Inserting every group image of one solution stores one canonical
+        class; the duplicate counter sees the rest."""
+        family, sol = _family_solution(kind)
+        with SolutionStore(":memory:") as s:
+            for image in family.symmetry.images(sol):
+                s.insert(kind, image)
+            assert s.count(kind, sol.size) == 1
+            assert s.stats.inserts == 1
+            assert s.stats.duplicates == family.symmetry.order - 1
+            for image in family.symmetry.images(sol):
+                assert s.contains_class(kind, image)
+
+    @pytest.mark.parametrize(
+        "kind", ["costas", "queens", "all-interval", "magic-square"]
+    )
+    def test_variant_expansion_uses_only_the_familys_group(self, kind):
+        """``variant=`` walks exactly the family's own elements (modulo its
+        group order) and every image is a valid solution of that family."""
+        family, sol = _family_solution(kind)
+        with SolutionStore(":memory:") as s:
+            s.insert(kind, sol)
+            base = s.get(kind, sol.size)
+            expected = family.symmetry.images(base)
+            for k in range(2 * family.symmetry.order):
+                got = s.get(kind, sol.size, variant=k)
+                assert np.array_equal(got, expected[k % family.symmetry.order])
+                assert family.validator(got)
+
+    def test_all_interval_expansion_never_applies_dihedral_transposes(self):
+        """A stored all-interval series must not be 'expanded' through the
+        Costas transpose: its group has 4 elements, and walking variants
+        0..7 only ever yields those 4 images."""
+        family, sol = _family_solution("all-interval")
+        with SolutionStore(":memory:") as s:
+            s.insert("all-interval", sol)
+            images = {
+                tuple(int(v) for v in s.get("all-interval", sol.size, variant=k))
+                for k in range(8)
+            }
+            assert len(images) <= 4
+            for image in images:
+                assert family.validator(np.array(image))
+
+    def test_validators_are_per_family(self):
+        """The queens validator guards queens inserts: a permutation that is
+        a fine Costas array but attacks on a diagonal is refused."""
+        with SolutionStore(":memory:") as s:
+            with pytest.raises(StoreError):
+                s.insert("queens", np.arange(8))  # every queen on one diagonal
+            with pytest.raises(StoreError):
+                s.insert("magic-square", np.arange(9))
+
+    def test_kinds_are_isolated_and_aliases_normalise(self):
+        """The same permutation stored under two kinds is two rows; alias
+        spellings of a kind land on the canonical name."""
+        _, queens_sol = _family_solution("queens")
+        with SolutionStore(":memory:") as s:
+            assert s.insert("queens", queens_sol)
+            assert not s.insert("n-queens", queens_sol)  # alias, same class
+            assert s.get("costas", queens_sol.size) is None
+            assert s.count("queens") == 1
+            snap = s.snapshot()
+            assert snap["by_kind"]["queens"]["stored_classes"] == 1
+
+    def test_unknown_kind_raises_store_error(self):
+        with SolutionStore(":memory:") as s:
+            with pytest.raises(StoreError, match="unknown problem kind"):
+                s.insert("sudoku", np.arange(9))
+            with pytest.raises(StoreError, match="unknown problem kind"):
+                s.get("sudoku", 9)
+
+
 def _hammer(path: str, order: int, variants_json: str, results_queue) -> None:
     """Child-process body: insert every variant, read back, report counters."""
     variants = [np.asarray(v, dtype=np.int64) for v in json.loads(variants_json)]

@@ -2,7 +2,8 @@
 conformance suite.
 
 The conformance suite is the contract behind ``repro.solvers``: *every*
-registered strategy solves small instances, is deterministic under a seed,
+registered strategy solves small instances of *every* registered problem
+family it accepts (:mod:`repro.problems`), is deterministic under a seed,
 honours ``stop_check`` within one ``check_period``, honours ``max_time``, and
 returns a well-formed :class:`~repro.core.result.SolveResult`.  Anything that
 passes here can be multi-walked, served, raced and cancelled by the upper
@@ -18,6 +19,7 @@ from repro.core.strategy import SearchStrategy, StrategyRun
 from repro.costas.array import is_costas
 from repro.exceptions import SolverError
 from repro.models import CostasProblem, NQueensProblem
+from repro.problems import get_family, list_families
 from repro.solvers import (
     SolverSpec,
     build_solver,
@@ -48,13 +50,22 @@ def _spec(name: str) -> dict:
     return {"name": name, "params": _FAST_PARAMS[name]}
 
 
+#: Small, quickly solvable orders per registered problem family.
+_FAMILY_ORDERS = {"costas": 7, "queens": 8, "all-interval": 8, "magic-square": 3}
+
+
 def _problems_for(info):
+    """Every registered family the solver accepts, as (kind, factory) pairs."""
     problems = []
-    if "permutation" in info.problem_kinds:
-        problems.append(("costas", lambda: CostasProblem(7)))
-        problems.append(("queens", lambda: NQueensProblem(8)))
-    elif info.problem_kinds == ("costas",):
-        problems.append(("costas", lambda: CostasProblem(7)))
+    for family in list_families():
+        if (
+            "permutation" in info.problem_kinds
+            or family.name in info.problem_kinds
+        ):
+            order = _FAMILY_ORDERS[family.name]
+            problems.append(
+                (family.name, lambda f=family, o=order: f.make(o))
+            )
     return problems
 
 
@@ -153,10 +164,17 @@ class TestConformance:
     @pytest.mark.parametrize("name", solver_names())
     def test_solves_small_instances(self, name):
         info = get_solver(name)
-        for kind, factory in _problems_for(info):
+        problems = _problems_for(info)
+        # The CP baseline covers Costas only; every local-search strategy
+        # must cover all four registered families.
+        expected = 1 if info.problem_kinds == ("costas",) else len(list_families())
+        assert len(problems) == expected
+        for kind, factory in problems:
             result = run_spec(_spec(name), factory(), seed=0, problem_kind=kind)
             assert result.solved, f"{name} failed on {kind}: {result.summary()}"
             assert result.cost == 0
+            # The family's own validator accepts the returned configuration.
+            assert get_family(kind).validator(np.asarray(result.configuration))
             if kind == "costas":
                 assert is_costas(result.configuration)
 

@@ -23,9 +23,14 @@ Commands
     shortcuts, minimum orders (``--json`` for machine-readable output).
 ``repro serve``
     Run the solver-as-a-service HTTP server (persistent solution store,
-    request coalescing, long-lived worker pool).
-``repro request N``
-    Submit one solve request to a running ``repro serve`` instance.
+    request coalescing, long-lived worker pool).  The default front-end is
+    the asyncio server (``POST /solve-batch``, ``GET /events/<id>`` progress
+    streaming, thousands of concurrent waiting clients); ``--sync`` selects
+    the legacy thread-per-connection server.
+``repro request N [N ...]``
+    Submit solve requests to a running ``repro serve`` instance; with
+    ``--batch`` all orders travel in one ``POST /solve-batch`` body (one
+    scheduler pass server-side).
 
 ``parallel``, ``serve`` and ``request`` accept ``--solver`` with a registry
 name (``tabu``), an inline portfolio (``adaptive+tabu``, raced
@@ -141,6 +146,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser("serve", help="run the solver-as-a-service HTTP server")
     p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
     p_serve.add_argument("--port", type=int, default=8000, help="TCP port")
+    frontend = p_serve.add_mutually_exclusive_group()
+    frontend.add_argument(
+        "--async",
+        dest="frontend_async",
+        action="store_true",
+        default=True,
+        help="asyncio front-end: batch + SSE endpoints, thousands of "
+        "concurrent waiting clients (the default)",
+    )
+    frontend.add_argument(
+        "--sync",
+        dest="frontend_async",
+        action="store_false",
+        help="legacy thread-per-connection front-end (no /solve-batch, "
+        "no /events/<id>)",
+    )
     p_serve.add_argument(
         "--db", default="solutions.db", help="solution store path (':memory:' for ephemeral)"
     )
@@ -160,7 +181,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--quiet", action="store_true", help="suppress per-request logging")
 
     p_req = sub.add_parser("request", help="submit one request to a running server")
-    p_req.add_argument("order", type=int, help="instance order")
+    p_req.add_argument(
+        "orders",
+        type=int,
+        nargs="+",
+        metavar="order",
+        help="instance order(s); several orders go as one batch with --batch",
+    )
+    p_req.add_argument(
+        "--batch",
+        action="store_true",
+        help="submit all orders in one POST /solve-batch call "
+        "(one scheduler pass; requires the async front-end)",
+    )
     p_req.add_argument(
         "--kind",
         default="costas",
@@ -518,7 +551,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro.service.api import ServiceConfig
-    from repro.service.http import ServiceHTTPServer
 
     config = ServiceConfig(
         store_path=args.db,
@@ -528,12 +560,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_max_time=args.max_time,
         default_solver=args.solver,
     )
-    server = ServiceHTTPServer(
-        (args.host, args.port), config=config, verbose=not args.quiet
-    )
+    if args.frontend_async:
+        from repro.service.http_async import AsyncServiceHTTPServer
+
+        server = AsyncServiceHTTPServer(
+            (args.host, args.port), config=config, verbose=not args.quiet
+        )
+        frontend = "async"
+    else:
+        from repro.service.http import ServiceHTTPServer
+
+        server = ServiceHTTPServer(
+            (args.host, args.port), config=config, verbose=not args.quiet
+        )
+        frontend = "sync"
     print(
         f"repro service on http://{args.host}:{server.port} "
-        f"(store={args.db}, workers={server.service.pool.n_workers}, "
+        f"(frontend={frontend}, store={args.db}, "
+        f"workers={server.service.pool.n_workers}, "
         f"queue_depth={args.queue_depth})"
     )
     # SIGTERM (the default `kill`, and what container runtimes send) drains
@@ -559,7 +603,7 @@ def _cmd_request(args: argparse.Namespace) -> int:
 
     base = args.url.rstrip("/")
 
-    def _call(method: str, path: str, body=None):
+    def _call(method: str, path: str, body=None, timeout: float = 30.0):
         data = None if body is None else json.dumps(body).encode("utf-8")
         req = urllib.request.Request(
             base + path,
@@ -568,55 +612,91 @@ def _cmd_request(args: argparse.Namespace) -> int:
             headers={"Content-Type": "application/json"},
         )
         try:
-            with urllib.request.urlopen(req, timeout=30.0) as resp:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
                 return resp.status, json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             return exc.code, json.loads(exc.read().decode("utf-8") or "{}")
 
-    body = {"order": args.order, "kind": args.kind, "priority": args.priority}
-    if args.max_time is not None:
-        body["max_time"] = args.max_time
-    if args.solver is not None:
-        body["solver"] = args.solver
-    try:
-        status, payload = _call("POST", "/solve", body)
-    except (urllib.error.URLError, OSError) as exc:
-        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
-        return 1
-    if status == 503:
-        print(f"server busy: {payload.get('error')}", file=sys.stderr)
-        return 2
-    if status not in (200, 202):
-        print(f"error: {payload.get('error', payload)}", file=sys.stderr)
-        return 1
-    deadline = time_module.monotonic() + args.timeout
-    while status == 202:
-        if time_module.monotonic() > deadline:
-            print(
-                f"timed out after {args.timeout}s "
-                f"(request {payload.get('request_id')} still pending)",
-                file=sys.stderr,
-            )
-            return 1
-        time_module.sleep(0.2)
+    def _item_body(order: int) -> dict:
+        body = {"order": order, "kind": args.kind, "priority": args.priority}
+        if args.max_time is not None:
+            body["max_time"] = args.max_time
+        if args.solver is not None:
+            body["solver"] = args.solver
+        return body
+
+    def _print_solved(payload: dict, order: int) -> None:
+        via = payload["source"]
+        solver = (payload.get("detail") or {}).get("solver")
+        if solver:
+            via = f"{via} ({solver})"
+        kind = payload.get("kind", args.kind)
+        print(f"{kind} order {order} via {via} in {payload['elapsed']:.4f}s")
+        label = "permutation" if kind == "costas" else "solution"
+        print(f"{label} (1-based):", [v + 1 for v in payload["solution"]])
+
+    if args.batch:
+        # One POST /solve-batch call: one HTTP round-trip, one scheduler pass
+        # on the server — this is the amortised path for many instances.
+        body = {
+            "items": [_item_body(order) for order in args.orders],
+            "wait": True,
+        }
         try:
-            status, payload = _call("GET", f"/result/{payload['request_id']}")
+            # The server holds the response while it solves; the client-side
+            # budget is the user's --timeout, not the per-poll default.
+            status, payload = _call(
+                "POST", "/solve-batch", body, timeout=args.timeout
+            )
         except (urllib.error.URLError, OSError) as exc:
-            print(f"error: lost contact with {base}: {exc}", file=sys.stderr)
+            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
             return 1
-    if status != 200 or not payload.get("solved"):
-        print(f"unsolved: {payload}", file=sys.stderr)
-        return 1
-    solution = payload["solution"]
-    via = payload["source"]
-    solver = (payload.get("detail") or {}).get("solver")
-    if solver:
-        via = f"{via} ({solver})"
-    kind = payload.get("kind", args.kind)
-    print(f"{kind} order {args.order} via {via} in {payload['elapsed']:.4f}s")
-    label = "permutation" if kind == "costas" else "solution"
-    print(f"{label} (1-based):", [v + 1 for v in solution])
-    return 0
+        if status != 200:
+            print(f"error: {payload.get('error', payload)}", file=sys.stderr)
+            return 1
+        failures = 0
+        for order, item in zip(args.orders, payload["results"]):
+            if item.get("status") == "done" and item.get("solved"):
+                _print_solved(item, order)
+            else:
+                failures += 1
+                print(f"order {order}: {item}", file=sys.stderr)
+        return 0 if failures == 0 else 1
+
+    exit_code = 0
+    for order in args.orders:
+        try:
+            status, payload = _call("POST", "/solve", _item_body(order))
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+            return 1
+        if status == 503:
+            print(f"server busy: {payload.get('error')}", file=sys.stderr)
+            return 2
+        if status not in (200, 202):
+            print(f"error: {payload.get('error', payload)}", file=sys.stderr)
+            return 1
+        deadline = time_module.monotonic() + args.timeout
+        while status == 202:
+            if time_module.monotonic() > deadline:
+                print(
+                    f"timed out after {args.timeout}s "
+                    f"(request {payload.get('request_id')} still pending)",
+                    file=sys.stderr,
+                )
+                return 1
+            time_module.sleep(0.2)
+            try:
+                status, payload = _call("GET", f"/result/{payload['request_id']}")
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"error: lost contact with {base}: {exc}", file=sys.stderr)
+                return 1
+        if status != 200 or not payload.get("solved"):
+            print(f"unsolved: {payload}", file=sys.stderr)
+            exit_code = 1
+            continue
+        _print_solved(payload, order)
+    return exit_code
 
 
 _DISPATCH = {

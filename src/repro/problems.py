@@ -18,7 +18,7 @@ uniformly:
   Costas keeps its dihedral-8 (:mod:`repro.costas.symmetry`); N-Queens gets
   the board rotations/reflections (the same three generators act on the
   permutation encoding); All-Interval gets reverse/complement; Magic Square
-  falls back to the identity group.
+  gets the grid dihedral-8 acting on the flattened row-major encoding.
 * ``construct(order)`` — optional algebraic shortcut answering the instance
   without search, exactly like Welch/Lempel/Golomb do for Costas: N-Queens
   has an explicit modular solution for every ``n >= 4`` and the All-Interval
@@ -65,6 +65,7 @@ __all__ = [
     "problem_factory",
     "IDENTITY_GROUP",
     "DIHEDRAL_GROUP",
+    "GRID_DIHEDRAL_GROUP",
     "REVERSE_COMPLEMENT_GROUP",
 ]
 
@@ -153,6 +154,44 @@ DIHEDRAL_GROUP = SymmetryGroup(
                 ),
             ),
         )
+    ),
+)
+
+def _grid_op(transform: Callable[[np.ndarray], np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:
+    """Lift a 2-D grid transform to the flattened row-major encoding.
+
+    The stored Magic Square array has ``n**2`` entries (``instance_size``),
+    so the side is recovered from the array itself and the transform acts on
+    the reshaped grid.
+    """
+
+    def op(perm: np.ndarray) -> np.ndarray:
+        side = math.isqrt(perm.size)
+        if side * side != perm.size:
+            raise ValueError(
+                f"grid symmetry needs a square array, got size {perm.size}"
+            )
+        return np.ascontiguousarray(transform(perm.reshape(side, side))).reshape(-1)
+
+    return op
+
+
+#: The dihedral group of the square acting on the *grid* (rotations and
+#: reflections of the board itself), lifted to the flattened row-major
+#: encoding Magic Square solutions are stored in.  All eight transforms
+#: permute rows/columns/diagonals among themselves, so line sums — and hence
+#: the magic property — are preserved.
+GRID_DIHEDRAL_GROUP = SymmetryGroup(
+    "grid-dihedral-8",
+    (
+        ("identity", _identity_op),
+        ("rot90", _grid_op(lambda g: np.rot90(g, 1))),
+        ("rot180", _grid_op(lambda g: np.rot90(g, 2))),
+        ("rot270", _grid_op(lambda g: np.rot90(g, 3))),
+        ("flip-horizontal", _grid_op(np.fliplr)),
+        ("flip-vertical", _grid_op(np.flipud)),
+        ("transpose", _grid_op(np.transpose)),
+        ("anti-transpose", _grid_op(lambda g: np.rot90(g, 2).T)),
     ),
 )
 
@@ -462,7 +501,7 @@ register_family(
         name="magic-square",
         factory=MagicSquareProblem,
         validator=_is_magic_square_solution,
-        symmetry=IDENTITY_GROUP,
+        symmetry=GRID_DIHEDRAL_GROUP,
         min_order=3,
         summary="Magic Square (CSPLib prob019): fill n x n with 0..n^2-1 so "
         "every line sums to the magic constant",

@@ -19,16 +19,20 @@ needs, composed of four pieces a request flows through:
    engine, and drain gracefully on shutdown.
 4. :mod:`repro.service.api` — the :class:`~repro.service.api.SolverService`
    facade composing store -> algebraic-construction shortcut -> scheduler ->
-   pool, exposed over stdlib HTTP by :mod:`repro.service.http` and the
-   ``repro serve`` / ``repro request`` CLI commands.
+   pool, exposed over stdlib HTTP by the asyncio front-end
+   (:mod:`repro.service.http_async` — batch submit, SSE progress streaming,
+   thousands of concurrent waiting clients) or the legacy threaded one
+   (:mod:`repro.service.http`), and by the ``repro serve`` /
+   ``repro request`` CLI commands.
 """
 
-from repro.service.api import ServiceConfig, SolverService
+from repro.service.api import ProgressSubscription, ServiceConfig, SolverService
 from repro.service.scheduler import RequestScheduler, SchedulerSaturatedError, Ticket
 from repro.service.store import SolutionStore, StoreStats
 from repro.service.workers import WorkerPool
 
 __all__ = [
+    "ProgressSubscription",
     "ServiceConfig",
     "SolverService",
     "RequestScheduler",

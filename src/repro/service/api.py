@@ -23,11 +23,12 @@ to a :class:`ServiceResponse`; ``submit()``/``result()``/``cancel()``/
 from __future__ import annotations
 
 import itertools
+import queue as queue_module
 import threading
 import time
 from concurrent.futures import CancelledError, Future, InvalidStateError
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,7 +44,13 @@ from repro.solvers import (
     resolve_portfolio,
 )
 
-__all__ = ["ServiceConfig", "ServiceRequest", "ServiceResponse", "SolverService"]
+__all__ = [
+    "ProgressSubscription",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceResponse",
+    "SolverService",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,12 @@ class ServiceConfig:
     use_constructions: bool = True
     seed_root: Optional[int] = None
     mp_context: Optional[str] = None
+    #: Minimum seconds between progress samples per walk (the workers throttle
+    #: at this cadence; ``0`` disables worker-side progress reporting).
+    progress_interval: float = 0.25
+    #: Upper bound on the number of items one ``submit_batch`` call (one
+    #: ``POST /solve-batch`` body) may carry.
+    max_batch_items: int = 128
 
 
 @dataclass
@@ -115,6 +128,100 @@ class ServiceRequest:
         return self.future.done()
 
 
+#: Event names that end a progress stream.
+_TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+
+
+class ProgressSubscription:
+    """One consumer's live event stream for one request.
+
+    Obtained from :meth:`SolverService.subscribe`; the HTTP layer's
+    ``GET /events/<id>`` turns it into a ``text/event-stream``.  Events are
+    plain dicts with an ``"event"`` key: ``"status"`` (the initial snapshot),
+    ``"progress"`` (throttled per-walk search samples straight from the
+    strategy harness's callback plumbing), and exactly one terminal event —
+    ``"done"`` (with the full result payload), ``"failed"`` or
+    ``"cancelled"`` — after which :meth:`get` returns ``None`` forever.
+
+    The queue is bounded; when a slow consumer falls behind, the oldest
+    *progress* sample is dropped in favour of the newest (terminal events are
+    never dropped: :meth:`push` retries after evicting).
+    """
+
+    def __init__(self, request_id: str, *, maxsize: int = 256) -> None:
+        self.request_id = request_id
+        self._queue: "queue_module.Queue[Dict[str, Any]]" = queue_module.Queue(maxsize)
+        self._closed = threading.Event()
+        self._terminated = False
+        self._listener: Optional[Any] = None
+        self._listener_lock = threading.Lock()
+
+    def push(self, event: Dict[str, Any]) -> None:
+        """Enqueue *event*, evicting the oldest sample when full."""
+        if self._closed.is_set():
+            return
+        # The queue fallback stays inside the same critical section as the
+        # listener check: otherwise an event racing set_listener() could land
+        # in the queue *after* the listener drained it and never be seen.
+        with self._listener_lock:
+            listener = self._listener
+            if listener is not None:
+                try:
+                    listener(event)
+                except Exception:  # pragma: no cover - consumer bug guard
+                    pass
+                return
+            while True:
+                try:
+                    self._queue.put_nowait(event)
+                    return
+                except queue_module.Full:
+                    try:
+                        self._queue.get_nowait()
+                    except queue_module.Empty:  # pragma: no cover - racing consumer
+                        pass
+
+    def set_listener(self, listener: Any) -> None:
+        """Switch from pull (:meth:`get`) to push delivery.
+
+        Already-queued events are replayed to *listener* first (in order),
+        then every future :meth:`push` invokes it directly.  The async HTTP
+        front-end uses this to bridge events onto its loop without parking a
+        thread per stream.
+        """
+        with self._listener_lock:
+            while True:
+                try:
+                    event = self._queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                try:
+                    listener(event)
+                except Exception:  # pragma: no cover - consumer bug guard
+                    pass
+            self._listener = listener
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Next event, or ``None`` on timeout / closed-and-drained stream."""
+        if self._terminated and self._queue.empty():
+            return None
+        try:
+            event = self._queue.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+        if event.get("event") in _TERMINAL_EVENTS:
+            self._terminated = True
+        return event
+
+    def close(self) -> None:
+        """Stop accepting events (the consumer went away)."""
+        self._closed.set()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
 class SolverService:
     """Solver-as-a-service: persistent store, coalescing, warm workers.
 
@@ -140,6 +247,11 @@ class SolverService:
         self._lock = threading.Lock()
         self._requests: Dict[str, ServiceRequest] = {}
         self._req_counter = itertools.count(1)
+        #: request_id -> live progress subscriptions (SSE clients).
+        self._subscribers: Dict[str, List[ProgressSubscription]] = {}
+        #: id(ticket) -> request_id, for routing pool progress samples from a
+        #: (possibly coalesced) job to every attached request's subscribers.
+        self._ticket_requests: Dict[int, str] = {}
         #: scheduler Job -> pool handle, for cancellation of running jobs.
         self._job_handles: Dict[int, PoolJobHandle] = {}
         #: scheduler Job -> slot permits it holds (portfolio jobs hold more).
@@ -165,6 +277,7 @@ class SolverService:
         self._started_at = time.time()
         self._immediate = {"store": 0, "construction": 0}
         self._searches = 0
+        self._batches = 0
         #: Per-family observability: requests and solved responses by tier.
         self._kinds: Dict[str, Dict[str, int]] = {}
         # Per-solver observability: requests by requested portfolio label,
@@ -262,6 +375,140 @@ class SolverService:
         """
         if self._closed:
             raise SolverError("service is closed")
+        family, kind, specs = self._resolve_selection(order, kind, solver)
+        self.start()
+        request = self._new_request(order, kind)
+        start = time.perf_counter()
+        if self._try_immediate(
+            request,
+            family,
+            lookup_store=use_store,
+            try_construct=use_constructions,
+            start=start,
+        ):
+            return request
+        payload = self._search_payload(kind, order, specs, max_time, model_options)
+        key = self._instance_key(kind, order, payload)
+        try:
+            ticket = self.scheduler.submit(key, payload, priority=priority)
+        except ReproError:
+            with self._lock:
+                self._requests.pop(request.request_id, None)
+            raise
+        except RuntimeError as exc:
+            # The scheduler closed between our _closed check and here (a
+            # request racing close()); don't leak a never-resolving entry.
+            with self._lock:
+                self._requests.pop(request.request_id, None)
+            raise SolverError("service is closed") from exc
+        self._attach_ticket(request, ticket, start)
+        return request
+
+    def submit_batch(
+        self,
+        items: Sequence[Mapping[str, Any]],
+        *,
+        priority: int = 0,
+    ) -> List[Union[ServiceRequest, ReproError]]:
+        """Submit many solve requests in **one** pass (``POST /solve-batch``).
+
+        Each *item* is a mapping with the same fields :meth:`submit` takes as
+        keywords, plus the mandatory ``"order"``.  The store and construction
+        tiers are consulted per item as usual; everything that needs the
+        search tier is admitted to the scheduler under a single lock
+        acquisition (:meth:`~repro.service.scheduler.RequestScheduler.submit_batch`),
+        so N instances pay one scheduler pass instead of N.
+
+        Failures are **per item**, never whole-batch: the returned list is
+        aligned with *items* and each slot holds either the admitted
+        :class:`ServiceRequest` or the :class:`~repro.exceptions.ReproError`
+        that rejected that item (a
+        :class:`~repro.service.scheduler.SchedulerSaturatedError` slot means
+        backpressure — HTTP 503 semantics — while other
+        :class:`~repro.exceptions.SolverError`\\ s are client errors).  Only a
+        closed service raises.
+        """
+        if self._closed:
+            raise SolverError("service is closed")
+        self.start()
+        outcomes: List[Union[ServiceRequest, ReproError, None]] = [None] * len(items)
+        # Identical instances inside one batch share a single store read /
+        # construction call — part of the batch's amortisation.
+        immediate_cache: Dict[Tuple[Any, ...], Optional[Tuple[np.ndarray, str]]] = {}
+        #: (item index, request, key, payload, priority, tier start time)
+        queued: List[Tuple[int, ServiceRequest, Tuple[Any, ...], Dict[str, Any], int, float]] = []
+        for index, item in enumerate(items):
+            try:
+                if not isinstance(item, Mapping):
+                    raise SolverError(
+                        f"batch item {index} must be an object, got {type(item).__name__}"
+                    )
+                order = int(item["order"])
+                family, kind, specs = self._resolve_selection(
+                    order, str(item.get("kind", "costas")), item.get("solver")
+                )
+                item_priority = int(item.get("priority", priority))
+                max_time = item.get("max_time")
+                max_time = float(max_time) if max_time is not None else None
+                model_options = item.get("model_options")
+                if model_options is not None and not isinstance(model_options, Mapping):
+                    raise SolverError(
+                        f"batch item {index}: model_options must be an object"
+                    )
+            except ReproError as exc:
+                outcomes[index] = exc
+                continue
+            except (KeyError, TypeError, ValueError) as exc:
+                outcomes[index] = SolverError(f"invalid batch item {index}: {exc}")
+                continue
+            request = self._new_request(order, kind)
+            start = time.perf_counter()
+            if self._try_immediate(
+                request,
+                family,
+                lookup_store=item.get("use_store"),
+                try_construct=item.get("use_constructions"),
+                start=start,
+                immediate_cache=immediate_cache,
+            ):
+                outcomes[index] = request
+                continue
+            payload = self._search_payload(kind, order, specs, max_time, model_options)
+            key = self._instance_key(kind, order, payload)
+            queued.append((index, request, key, payload, item_priority, start))
+        if queued:
+            try:
+                tickets = self.scheduler.submit_batch(
+                    [(key, payload, prio) for _, _, key, payload, prio, _ in queued]
+                )
+            except RuntimeError:
+                # The scheduler closed underneath the batch: fail the queued
+                # items, keep the already-resolved ones.
+                tickets = [
+                    SolverError("service is closed") for _ in queued  # type: ignore[misc]
+                ]
+            for (index, request, _, _, _, start), ticket in zip(queued, tickets):
+                if isinstance(ticket, ReproError):
+                    with self._lock:
+                        self._requests.pop(request.request_id, None)
+                    outcomes[index] = ticket
+                else:
+                    self._attach_ticket(request, ticket, start)
+                    outcomes[index] = request
+        with self._lock:
+            self._batches += 1
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------- submission helpers
+    def _resolve_selection(
+        self, order: int, kind: str, solver: Optional[Any]
+    ) -> Tuple[Any, str, List[Any]]:
+        """Validate ``(order, kind, solver)``; bump the request counters.
+
+        Returns ``(family, canonical kind, portfolio specs)``.  Raising here
+        means nothing was registered or queued — the HTTP layer turns the
+        :class:`SolverError` into a 400 for exactly this request/item.
+        """
         family = get_family(kind)
         kind = family.name
         if order < family.min_order:
@@ -290,77 +537,119 @@ class SolverService:
                 self._solver_requests.get(solver_label, 0) + 1
             )
             self._kind_counter_locked(kind, "requests")
-        self.start()
+        return family, kind, specs
+
+    def _new_request(self, order: int, kind: str) -> ServiceRequest:
+        """Register a fresh request handle (terminal events auto-published)."""
         request_id = f"r{next(self._req_counter)}"
         future: Future = Future()
-        request = ServiceRequest(request_id=request_id, order=order, kind=kind, future=future)
+        request = ServiceRequest(
+            request_id=request_id, order=order, kind=kind, future=future
+        )
+        # Every terminal transition (result, failure, cancellation — from any
+        # tier or from close()) flows through the future, so one callback
+        # feeds every progress subscriber reliably.
+        future.add_done_callback(
+            lambda fut, request=request: self._publish_terminal(request, fut)
+        )
         with self._lock:
             self._requests[request_id] = request
             self._evict_settled_locked()
-        start = time.perf_counter()
+        return request
 
-        lookup_store = self.config.use_store if use_store is None else use_store
-        try_construct = (
-            self.config.use_constructions
-            if use_constructions is None
-            else use_constructions
+    def _try_immediate(
+        self,
+        request: ServiceRequest,
+        family: Any,
+        *,
+        lookup_store: Optional[bool],
+        try_construct: Optional[bool],
+        start: float,
+        immediate_cache: Optional[Dict[Tuple[Any, ...], Any]] = None,
+    ) -> bool:
+        """Tiers 1+2: answer from the store or a construction; ``True`` if so.
+
+        ``immediate_cache`` (one dict per :meth:`submit_batch` call) lets
+        identical instances inside a batch share a single store read or
+        construction: the cached entry is ``(solution, source)`` or ``None``
+        for a miss.  Cached answers still count as per-kind ``store``/
+        ``construction`` responses in the service stats, but only the first
+        touches SQLite.
+        """
+        lookup = self.config.use_store if lookup_store is None else lookup_store
+        construct = (
+            self.config.use_constructions if try_construct is None else try_construct
         )
-        storage_n = family.instance_size(order)
-
+        kind = family.name
+        cache_key = (kind, int(request.order), lookup, construct)
+        if immediate_cache is not None and cache_key in immediate_cache:
+            hit = immediate_cache[cache_key]
+            if hit is None:
+                return False
+            solution, source = hit
+            if source == "construction":
+                with self._lock:
+                    self._immediate["construction"] += 1
+            self._resolve(request, solution, source=source, solved=True, start=start)
+            return True
         # Tier 1: the persistent store (answers whole symmetry classes).
-        if lookup_store:
-            cached = self.store.get(kind, storage_n)
+        if lookup:
+            cached = self.store.get(kind, family.instance_size(request.order))
             if cached is not None:
-                self._resolve(
-                    request, cached, source="store", solved=True, start=start
-                )
-                return request
-
+                if immediate_cache is not None:
+                    immediate_cache[cache_key] = (cached, "store")
+                self._resolve(request, cached, source="store", solved=True, start=start)
+                return True
         # Tier 2: algebraic constructions (family-specific shortcuts).
-        if try_construct:
-            solution = family.try_construct(order)
+        if construct:
+            solution = family.try_construct(request.order)
             if solution is not None:
                 if self.config.use_store:
                     self.store.insert(kind, solution, source="construction")
+                if immediate_cache is not None:
+                    immediate_cache[cache_key] = (solution, "construction")
                 with self._lock:
                     self._immediate["construction"] += 1
                 self._resolve(
                     request, solution, source="construction", solved=True, start=start
                 )
-                return request
+                return True
+        if immediate_cache is not None:
+            immediate_cache[cache_key] = None
+        return False
 
-        # Tier 3: coalesced search on the warm pool.  A single-member
-        # portfolio travels as one spec dict; a real portfolio as a list the
-        # pool assigns round-robin.
+    def _search_payload(
+        self,
+        kind: str,
+        order: int,
+        specs: List[Any],
+        max_time: Optional[float],
+        model_options: Optional[Mapping[str, Any]],
+    ) -> Dict[str, Any]:
+        """Tier-3 job payload.  A single-member portfolio travels as one spec
+        dict; a real portfolio as a list the pool assigns round-robin."""
         solver_payload = (
             specs[0].as_dict() if len(specs) == 1 else [s.as_dict() for s in specs]
         )
-        payload = {
+        return {
             "kind": kind,
             "order": int(order),
             "solver": solver_payload,
             "params": None,
             "max_time": max_time if max_time is not None else self.config.default_max_time,
             "model_options": dict(model_options) if model_options else {},
+            "progress_interval": self.config.progress_interval,
         }
-        key = self._instance_key(kind, order, payload)
-        try:
-            ticket = self.scheduler.submit(key, payload, priority=priority)
-        except ReproError:
-            with self._lock:
-                self._requests.pop(request_id, None)
-            raise
-        except RuntimeError as exc:
-            # The scheduler closed between our _closed check and here (a
-            # request racing close()); don't leak a never-resolving entry.
-            with self._lock:
-                self._requests.pop(request_id, None)
-            raise SolverError("service is closed") from exc
+
+    def _attach_ticket(
+        self, request: ServiceRequest, ticket: Ticket, start: float
+    ) -> None:
         request.ticket = ticket
+        with self._lock:
+            self._ticket_requests[id(ticket)] = request.request_id
         ticket.future.add_done_callback(
             lambda fut: self._on_ticket_done(request, fut, start)
         )
-        return request
 
     #: Completed requests retained for ``GET /result/<id>``; beyond this the
     #: oldest settled ones are evicted so a long-lived server stays bounded.
@@ -431,6 +720,9 @@ class SolverService:
 
     def _on_ticket_done(self, request: ServiceRequest, fut: Future, start: float) -> None:
         """Scheduler ticket resolved (from the pool collector thread)."""
+        if request.ticket is not None:
+            with self._lock:
+                self._ticket_requests.pop(id(request.ticket), None)
         if request.future.done():
             return
         if fut.cancelled():
@@ -504,6 +796,9 @@ class SolverService:
                     job.payload,
                     walks=walks,
                     on_done=lambda h, job=job: self._on_pool_done(job, h),
+                    on_progress=lambda h, sample, job=job: self._on_job_progress(
+                        job, sample
+                    ),
                 )
             except ReproError as exc:
                 for _ in range(permits):
@@ -567,6 +862,92 @@ class SolverService:
             },
         )
 
+    # ------------------------------------------------------------ progress fan-out
+    def subscribe(self, request_id: str) -> Optional[ProgressSubscription]:
+        """Open a live event stream for *request_id*; ``None`` when unknown.
+
+        The stream starts with a ``"status"`` snapshot, carries throttled
+        ``"progress"`` samples while the search tier works (shared solves fan
+        the same samples out to every coalesced subscriber), and ends with
+        exactly one terminal event.  A subscription to an already-settled
+        request gets its snapshot and terminal event immediately.
+        """
+        with self._lock:
+            request = self._requests.get(request_id)
+        if request is None:
+            return None
+        sub = ProgressSubscription(request_id)
+        sub.push(
+            {
+                "event": "status",
+                "request_id": request_id,
+                "kind": request.kind,
+                "order": request.order,
+                "status": "done" if request.future.done() else "pending",
+            }
+        )
+        with self._lock:
+            if not request.future.done():
+                # Registered under the same lock _publish_terminal pops with,
+                # so a request settling concurrently cannot miss this stream.
+                self._subscribers.setdefault(request_id, []).append(sub)
+                return sub
+        # Already settled: synthesize the terminal event this stream missed.
+        sub.push(self._terminal_event(request_id, request.future))
+        return sub
+
+    def unsubscribe(self, sub: ProgressSubscription) -> None:
+        """Detach *sub* (the consumer went away); idempotent."""
+        sub.close()
+        with self._lock:
+            subs = self._subscribers.get(sub.request_id)
+            if subs and sub in subs:
+                subs.remove(sub)
+                if not subs:
+                    del self._subscribers[sub.request_id]
+
+    @staticmethod
+    def _terminal_event(request_id: str, fut: Future) -> Dict[str, Any]:
+        if fut.cancelled():
+            return {"event": "cancelled", "request_id": request_id, "status": "cancelled"}
+        exc = fut.exception()
+        if exc is not None:
+            return {
+                "event": "failed",
+                "request_id": request_id,
+                "status": "failed",
+                "error": str(exc),
+            }
+        response: ServiceResponse = fut.result()
+        return {"event": "done", "status": "done", **response.as_dict()}
+
+    def _publish_terminal(self, request: ServiceRequest, fut: Future) -> None:
+        """Future done-callback: push the terminal event, end the streams."""
+        with self._lock:
+            subs = self._subscribers.pop(request.request_id, None)
+        if not subs:
+            return
+        event = self._terminal_event(request.request_id, fut)
+        for sub in subs:
+            sub.push(event)
+            sub.close()
+
+    def _on_job_progress(self, job: Job, sample: Dict[str, Any]) -> None:
+        """Pool collector hook: fan one walk's progress sample out to every
+        subscriber of every request coalesced onto *job*."""
+        with self._lock:
+            if not self._subscribers:
+                return
+            targets: list = []
+            for ticket in list(job.tickets):
+                request_id = self._ticket_requests.get(id(ticket))
+                if request_id is None:
+                    continue
+                for sub in self._subscribers.get(request_id, ()):
+                    targets.append((sub, request_id))
+        for sub, request_id in targets:
+            sub.push({"event": "progress", "request_id": request_id, **sample})
+
     def _abort_running_job(self, job: Job) -> None:
         """Scheduler callback: the last ticket of a running job was cancelled."""
         with self._lock:
@@ -611,6 +992,8 @@ class SolverService:
             )
             immediate = dict(self._immediate)
             searches = self._searches
+            batches = self._batches
+            progress_subscribers = sum(len(s) for s in self._subscribers.values())
             solver_requests = dict(self._solver_requests)
             solver_solves = dict(self._solver_solves)
             kinds = {kind: dict(counters) for kind, counters in self._kinds.items()}
@@ -619,6 +1002,8 @@ class SolverService:
             "open_requests": open_requests,
             "immediate": immediate,
             "searches_dispatched": searches,
+            "batches": batches,
+            "progress_subscribers": progress_subscribers,
             # Per-family requests and solved responses by answering tier.
             "kinds": kinds,
             "solvers": {

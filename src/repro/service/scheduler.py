@@ -141,32 +141,70 @@ class RequestScheduler:
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            self._submitted += 1
-            job = self._inflight.get(key)
-            if job is not None:
-                ticket = Ticket(job)
-                job.tickets.append(ticket)
-                self._coalesced += 1
-                if job.state == QUEUED and priority > job.priority:
-                    # Bump: re-push with the stronger priority; the old heap
-                    # entry becomes stale and is skipped on pop.
-                    job.priority = priority
-                    heapq.heappush(self._heap, (-priority, next(self._seq), job))
-                    self._available.notify()
-                return ticket
-            if self.max_depth is not None and self._queued_count >= self.max_depth:
-                self._rejected += 1
-                raise SchedulerSaturatedError(
-                    f"request queue is full ({self._queued_count} jobs queued, "
-                    f"max_depth={self.max_depth}); retry later"
-                )
-            job = Job(key=key, payload=dict(payload), priority=priority, seqno=next(self._seq))
+            return self._admit_locked(key, payload, priority)
+
+    def submit_batch(
+        self,
+        entries: List[Tuple[Tuple[Any, ...], Dict[str, Any], int]],
+    ) -> List[Ticket | SchedulerSaturatedError]:
+        """Admit many requests under **one** lock acquisition (one scheduler
+        pass for a whole ``POST /solve-batch`` body).
+
+        ``entries`` is a list of ``(key, payload, priority)`` triples.  The
+        result list is aligned with the input: each slot holds either the
+        admitted :class:`Ticket` or the :class:`SchedulerSaturatedError` that
+        rejected that item.  Saturation is judged item by item in input
+        order, so a batch that straddles ``max_depth`` admits a prefix of its
+        distinct keys and rejects the rest — identical 503 semantics to the
+        same requests arriving back to back, and items coalescing onto
+        admitted (or already in-flight) jobs are always accepted.  Raises
+        ``RuntimeError`` after :meth:`close` (nothing is admitted then).
+        """
+        results: List[Ticket | SchedulerSaturatedError] = []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            for key, payload, priority in entries:
+                try:
+                    results.append(self._admit_locked(key, payload, priority))
+                except SchedulerSaturatedError as exc:
+                    results.append(exc)
+        return results
+
+    def _admit_locked(
+        self, key: Tuple[Any, ...], payload: Dict[str, Any], priority: int
+    ) -> Ticket:
+        """One admission: coalesce, reject on saturation, or enqueue.
+
+        The single shared implementation behind :meth:`submit` and
+        :meth:`submit_batch`; the caller holds the lock.
+        """
+        self._submitted += 1
+        job = self._inflight.get(key)
+        if job is not None:
             ticket = Ticket(job)
             job.tickets.append(ticket)
-            self._inflight[key] = job
-            self._queued_count += 1
-            heapq.heappush(self._heap, (-job.priority, job.seqno, job))
-            self._available.notify()
+            self._coalesced += 1
+            if job.state == QUEUED and priority > job.priority:
+                # Bump: re-push with the stronger priority; the old heap
+                # entry becomes stale and is skipped on pop.
+                job.priority = priority
+                heapq.heappush(self._heap, (-priority, next(self._seq), job))
+                self._available.notify()
+            return ticket
+        if self.max_depth is not None and self._queued_count >= self.max_depth:
+            self._rejected += 1
+            raise SchedulerSaturatedError(
+                f"request queue is full ({self._queued_count} jobs queued, "
+                f"max_depth={self.max_depth}); retry later"
+            )
+        job = Job(key=key, payload=dict(payload), priority=priority, seqno=next(self._seq))
+        ticket = Ticket(job)
+        job.tickets.append(ticket)
+        self._inflight[key] = job
+        self._queued_count += 1
+        heapq.heappush(self._heap, (-job.priority, job.seqno, job))
+        self._available.notify()
         return ticket
 
     # ---------------------------------------------------------------- consumer

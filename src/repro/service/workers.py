@@ -47,6 +47,70 @@ _MAX_WALK_RETRIES = 2
 _SENTINEL = ("__shutdown__", None)
 
 
+class _ProgressReporter:
+    """Throttled :class:`~repro.core.callbacks.IterationCallback` that
+    forwards search progress over the pool's result queue.
+
+    The strategy harness (:class:`repro.core.strategy.StrategyRun`) dispatches
+    ``on_iteration`` on every loop iteration; this reporter checks the clock
+    only every 64 iterations and posts at most one ``("progress", ...)``
+    message per *interval* seconds, so the hot path pays a couple of integer
+    operations per iteration and the queue sees a few messages per second per
+    walk at worst.  A full queue drops the sample (progress is advisory).
+    """
+
+    __slots__ = ("_queue", "_worker_id", "_job_id", "_walk_index", "_solver",
+                 "_interval", "_next_at", "_count")
+
+    def __init__(
+        self,
+        result_queue: Any,
+        worker_id: int,
+        job_id: int,
+        walk_index: int,
+        solver: Optional[str],
+        interval: float,
+    ) -> None:
+        self._queue = result_queue
+        self._worker_id = worker_id
+        self._job_id = job_id
+        self._walk_index = walk_index
+        self._solver = solver
+        self._interval = interval
+        self._next_at = time.perf_counter() + interval
+        self._count = 0
+
+    def on_iteration(self, iteration: int, cost: int) -> None:
+        self._count += 1
+        if self._count & 63:
+            return
+        now = time.perf_counter()
+        if now < self._next_at:
+            return
+        self._next_at = now + self._interval
+        try:
+            self._queue.put_nowait(
+                (
+                    "progress",
+                    self._worker_id,
+                    self._job_id,
+                    self._walk_index,
+                    {
+                        "iteration": int(iteration),
+                        "cost": int(cost),
+                        "solver": self._solver,
+                    },
+                )
+            )
+        except queue_module.Full:  # pragma: no cover - advisory sample dropped
+            pass
+
+    def on_event(self, event: str, iteration: int, cost: int) -> None:
+        # Progress streams sample the cost trajectory; discrete engine events
+        # stay local to the walk.
+        return
+
+
 def _pool_worker(
     worker_id: int,
     job_queue,
@@ -84,6 +148,23 @@ def _pool_worker(
             as_params = (
                 ASParameters(**spec["params"]) if spec.get("params") is not None else None
             )
+            interval = spec.get("progress_interval")
+            reporter: Optional[_ProgressReporter] = None
+            if interval:
+                solver_spec = spec.get("solver")
+                solver_name = (
+                    solver_spec.get("name")
+                    if isinstance(solver_spec, dict)
+                    else solver_spec
+                )
+                reporter = _ProgressReporter(
+                    result_queue,
+                    worker_id,
+                    job_id,
+                    walk_index,
+                    solver_name,
+                    float(interval),
+                )
             result = run_spec(
                 spec.get("solver"),
                 problem,
@@ -91,6 +172,7 @@ def _pool_worker(
                 problem_kind=spec["kind"],
                 stop_check=cancel_event.is_set,
                 max_time=spec.get("max_time"),
+                callbacks=reporter,
                 as_params=as_params,
             )
             result.extra["worker_id"] = worker_id
@@ -108,6 +190,10 @@ class PoolJobHandle:
     spec: Dict[str, Any]
     walks: int
     on_done: Callable[["PoolJobHandle"], None]
+    #: Optional live-progress hook: ``on_progress(handle, sample)`` fires on
+    #: the collector thread for every throttled walk sample (advisory — it
+    #: must be cheap and must not raise).
+    on_progress: Optional[Callable[["PoolJobHandle", Dict[str, Any]], None]] = None
     results: List[SolveResult] = field(default_factory=list)
     #: walk_index -> worker slot currently running it (claimed walks only).
     running: Dict[int, int] = field(default_factory=dict)
@@ -217,6 +303,7 @@ class WorkerPool:
         *,
         walks: int = 1,
         on_done: Callable[[PoolJobHandle], None],
+        on_progress: Optional[Callable[[PoolJobHandle, Dict[str, Any]], None]] = None,
     ) -> PoolJobHandle:
         """Enqueue *spec* as one job fanned out over *walks* independent walks.
 
@@ -241,6 +328,7 @@ class WorkerPool:
                 spec=dict(spec),
                 walks=walks,
                 on_done=on_done,
+                on_progress=on_progress,
                 outstanding=walks,
                 submitted_at=time.perf_counter(),
             )
@@ -317,10 +405,25 @@ class WorkerPool:
                 continue
             if kind == "started":
                 self._on_started(handle, walk_index, worker_id)
+            elif kind == "progress":
+                self._on_walk_progress(handle, walk_index, payload)
             elif kind == "done":
                 self._on_walk_done(handle, walk_index, worker_id, payload)
             else:  # "error"
                 self._on_walk_error(handle, walk_index, worker_id, payload)
+
+    def _on_walk_progress(
+        self, handle: PoolJobHandle, walk_index: int, payload: Dict[str, Any]
+    ) -> None:
+        on_progress = handle.on_progress
+        if on_progress is None or handle.settled:
+            return
+        sample = dict(payload)
+        sample["walk"] = walk_index
+        try:
+            on_progress(handle, sample)
+        except Exception:  # pragma: no cover - advisory hook must not kill collector
+            pass
 
     def _on_started(self, handle: PoolJobHandle, walk_index: int, worker_id: int) -> None:
         with self._lock:

@@ -98,7 +98,8 @@ class TestProblemsCommand:
         listing = {entry["kind"]: entry for entry in payload["problems"]}
         assert set(listing) == {"costas", "queens", "all-interval", "magic-square"}
         assert listing["queens"]["has_construction"] is True
-        assert listing["magic-square"]["symmetry_order"] == 1
+        assert listing["magic-square"]["symmetry_order"] == 8
+        assert listing["magic-square"]["symmetry_group"] == "grid-dihedral-8"
         assert listing["costas"]["symmetry_elements"][0] == "identity"
 
 
@@ -219,7 +220,12 @@ class TestServiceCommands:
         args = parser.parse_args(["serve", "--port", "9000", "--db", ":memory:"])
         assert args.command == "serve" and args.port == 9000 and args.db == ":memory:"
         args = parser.parse_args(["request", "18", "--url", "http://h:1", "--priority", "2"])
-        assert args.order == 18 and args.url == "http://h:1" and args.priority == 2
+        assert args.orders == [18] and args.url == "http://h:1" and args.priority == 2
+        args = parser.parse_args(["request", "12", "13", "14", "--batch"])
+        assert args.orders == [12, 13, 14] and args.batch
+        args = parser.parse_args(["serve", "--sync"])
+        assert args.frontend_async is False
+        assert build_parser().parse_args(["serve"]).frontend_async is True
 
     def test_request_against_live_server(self, capsys, tmp_path):
         from repro.service.api import ServiceConfig

@@ -19,6 +19,7 @@ from repro.costas.symmetry import SYMMETRY_NAMES, all_symmetries, canonical_form
 from repro.exceptions import SolverError
 from repro.problems import (
     DIHEDRAL_GROUP,
+    GRID_DIHEDRAL_GROUP,
     IDENTITY_GROUP,
     REVERSE_COMPLEMENT_GROUP,
     SymmetryGroup,
@@ -241,3 +242,92 @@ class TestKnownCounts:
         assert len(images) == family.known_count(3) == 8
         for image in images:
             assert family.validator(np.array(image))
+
+
+class TestGridDihedralGroup:
+    """The Magic Square grid dihedral-8: rotations/reflections of the board
+    lifted to the flattened row-major encoding.  Registering it turns the
+    store's magic-square dedup from identity-only into an 8x win."""
+
+    _CLASSIC = np.array([1, 6, 5, 8, 4, 0, 3, 2, 7])
+
+    def test_magic_square_registered_with_grid_dihedral(self):
+        family = get_family("magic-square")
+        assert family.symmetry is GRID_DIHEDRAL_GROUP
+        assert family.symmetry.order == 8
+        assert family.symmetry.element_names == (
+            "identity",
+            "rot90",
+            "rot180",
+            "rot270",
+            "flip-horizontal",
+            "flip-vertical",
+            "transpose",
+            "anti-transpose",
+        )
+
+    def test_all_eight_images_are_magic_and_distinct(self):
+        family = get_family("magic-square")
+        images = family.symmetry.images(self._CLASSIC)
+        assert len(images) == 8
+        for name, image in zip(family.symmetry.element_names, images):
+            assert family.validator(image), name
+        assert len(family.symmetry.orbit(self._CLASSIC)) == 8
+
+    def test_group_is_closed(self):
+        """Applying any element to any image stays inside the orbit."""
+        group = GRID_DIHEDRAL_GROUP
+        orbit = set(group.orbit(self._CLASSIC))
+        for image in group.images(self._CLASSIC):
+            for reimage in group.images(image):
+                assert tuple(int(v) for v in reimage) in orbit
+
+    def test_canonical_form_round_trips_through_orbit_and_variant(self):
+        family = get_family("magic-square")
+        reference = family.canonical_form(self._CLASSIC)
+        orbit = family.symmetry.orbit(self._CLASSIC)
+        # The canonical form is the lexicographically smallest orbit member.
+        assert tuple(int(v) for v in reference) == min(orbit)
+        # Every image canonicalises to the same representative ...
+        for image in family.symmetry.images(self._CLASSIC):
+            assert np.array_equal(family.canonical_form(image), reference)
+        # ... and variant() walks exactly the images, wrapping modulo 8.
+        for k, image in enumerate(family.symmetry.images(self._CLASSIC)):
+            assert np.array_equal(family.symmetry.variant(self._CLASSIC, k), image)
+            assert np.array_equal(
+                family.symmetry.variant(self._CLASSIC, k + 8), image
+            )
+
+    def test_grid_ops_act_on_the_grid_not_the_permutation(self):
+        """rot90 of the flattened array is the flattened rot90 of the grid."""
+        grid = self._CLASSIC.reshape(3, 3)
+        rot = GRID_DIHEDRAL_GROUP.variant(self._CLASSIC, 1)
+        assert np.array_equal(rot.reshape(3, 3), np.rot90(grid, 1))
+        transposed = GRID_DIHEDRAL_GROUP.variant(self._CLASSIC, 6)
+        assert np.array_equal(transposed.reshape(3, 3), grid.T)
+
+    def test_eightfold_store_dedup_on_seeded_corpus(self):
+        """All 8 raw n=3 magic squares collapse to one stored class."""
+        from repro.service.store import SolutionStore
+
+        family = get_family("magic-square")
+        raw = family.symmetry.images(self._CLASSIC)
+        with SolutionStore(":memory:") as s:
+            for image in raw:
+                s.insert("magic-square", image)
+            assert s.count("magic-square", 9) == 1
+            assert s.stats.inserts == 1
+            assert s.stats.duplicates == len(raw) - 1
+            snapshot = s.snapshot()
+            assert snapshot["by_kind"]["magic-square"]["stored_classes"] == 1
+
+    def test_costas_and_queens_store_keys_unchanged(self):
+        """The permutation dihedral-8 is untouched: costas and queens
+        canonical forms (the store's primary keys) stay bit-identical with
+        the legacy repro.costas.symmetry machinery."""
+        for kind, order in (("costas", 12), ("queens", 10)):
+            family = get_family(kind)
+            sol = family.try_construct(order)
+            assert np.array_equal(family.canonical_form(sol), canonical_form(sol))
+            for a, b in zip(all_symmetries(sol), family.symmetry.images(sol)):
+                assert np.array_equal(a, b)

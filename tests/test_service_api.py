@@ -292,3 +292,115 @@ class TestCancellationAndBackpressure:
         svc.close(drain=False, timeout=10.0)
         with pytest.raises((SolverError, CancelledError)):
             request.result(timeout=5)
+
+
+class TestBatchSubmit:
+    def test_batch_mixes_tiers_and_errors_per_item(self, service):
+        outcomes = service.submit_batch(
+            [
+                {"order": 12},                      # construction tier
+                {"order": 12},                      # store hit (previous item)
+                {"order": 5, "kind": "sudoku"},    # unknown kind
+                {"order": 9, "use_constructions": False, "use_store": False},
+            ]
+        )
+        assert len(outcomes) == 4
+        assert outcomes[0].result(timeout=10).source == "construction"
+        # The identical second item shares the first one's construction via
+        # the batch's immediate-tier cache (no second store/construct call).
+        assert outcomes[1].result(timeout=10).source == "construction"
+        assert isinstance(outcomes[2], SolverError)
+        assert outcomes[3].result(timeout=120).source == "search"
+
+    def test_identical_batch_items_share_one_store_read(self, service):
+        service.submit(12).result(timeout=10)  # warm the store
+        reads_before = service.store.stats.hits
+        outcomes = service.submit_batch([{"order": 12}] * 8)
+        assert all(o.result(timeout=10).source == "store" for o in outcomes)
+        assert service.store.stats.hits == reads_before + 1
+
+    def test_batch_missing_order_is_a_per_item_error(self, service):
+        outcomes = service.submit_batch([{"kind": "queens"}, {"order": 16, "kind": "queens"}])
+        assert isinstance(outcomes[0], SolverError)
+        assert outcomes[1].result(timeout=10).solved
+
+    def test_batch_counts_in_stats(self, service):
+        service.submit_batch([{"order": 12}])
+        assert service.stats()["batches"] == 1
+
+
+class TestProgressSubscriptions:
+    def test_subscribe_to_settled_request_gets_snapshot_and_done(self, service):
+        request = service.submit(12)
+        request.result(timeout=10)
+        sub = service.subscribe(request.request_id)
+        assert sub is not None
+        first = sub.get(timeout=1)
+        assert first["event"] == "status" and first["status"] == "done"
+        terminal = sub.get(timeout=1)
+        assert terminal["event"] == "done" and terminal["solved"]
+        assert sub.get(timeout=0.1) is None
+
+    def test_unknown_request_id_returns_none(self, service):
+        assert service.subscribe("ghost") is None
+
+    def test_search_request_streams_progress_and_cleans_up(self, tmp_path):
+        # A tight progress interval makes the first sample arrive within a
+        # few hundred iterations, long before any n=16 walk can finish.
+        config = ServiceConfig(
+            store_path=str(tmp_path / "progress.db"),
+            n_workers=2,
+            default_max_time=120.0,
+            progress_interval=0.02,
+        )
+        with SolverService(config) as service:
+            self._stream_and_check(service)
+
+    def _stream_and_check(self, service):
+        request = service.submit(16, use_constructions=False, use_store=False)
+        sub = service.subscribe(request.request_id)
+        assert sub is not None
+        assert service.stats()["progress_subscribers"] == 1
+        events = []
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            event = sub.get(timeout=1.0)
+            if event is None:
+                if events and events[-1]["event"] == "done":
+                    break
+                continue
+            events.append(event)
+            if event["event"] == "done":
+                break
+        names = [e["event"] for e in events]
+        assert names[0] == "status" and names[-1] == "done"
+        assert "progress" in names
+        # Terminal event tears the registration down service-side.
+        assert service.stats()["progress_subscribers"] == 0
+
+    def test_unsubscribe_releases_registration(self, service):
+        request = service.submit(15, use_constructions=False, use_store=False)
+        sub = service.subscribe(request.request_id)
+        assert service.stats()["progress_subscribers"] == 1
+        service.unsubscribe(sub)
+        assert service.stats()["progress_subscribers"] == 0
+        assert sub.closed
+        service.cancel(request.request_id)
+
+    def test_cancelled_request_publishes_terminal_cancelled(self, service):
+        # Two submissions keep the pool busy so the third stays queued and
+        # cancellable; it must stream a "cancelled" terminal event.
+        service.submit(20, use_constructions=False, use_store=False)
+        service.submit(21, use_constructions=False, use_store=False)
+        request = service.submit(22, use_constructions=False, use_store=False)
+        sub = service.subscribe(request.request_id)
+        assert sub.get(timeout=1)["event"] == "status"
+        assert service.cancel(request.request_id)
+        deadline = time.monotonic() + 10
+        terminal = None
+        while time.monotonic() < deadline:
+            event = sub.get(timeout=0.5)
+            if event is not None and event["event"] in ("cancelled", "done", "failed"):
+                terminal = event
+                break
+        assert terminal is not None and terminal["event"] == "cancelled"

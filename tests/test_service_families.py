@@ -194,7 +194,8 @@ class TestHTTPAllFamilies:
         listing = {entry["kind"]: entry for entry in payload["problems"]}
         assert set(listing) == {"costas", "queens", "all-interval", "magic-square"}
         assert listing["costas"]["symmetry_group"] == "dihedral-8"
-        assert listing["magic-square"]["symmetry_order"] == 1
+        assert listing["magic-square"]["symmetry_group"] == "grid-dihedral-8"
+        assert listing["magic-square"]["symmetry_order"] == 8
         assert listing["queens"]["has_construction"] is True
 
     def test_stats_reports_per_kind_counters(self, server):

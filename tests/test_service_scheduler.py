@@ -241,3 +241,73 @@ class TestLifecycleAndThreads:
         assert len({id(t.job) for t in tickets}) == 1
         assert sched.stats()["submitted"] == 16
         assert sched.stats()["coalesced"] == 15
+
+
+class TestBatchSubmit:
+    @staticmethod
+    def _entries(orders):
+        return [(("costas", o), {"order": o}, 0) for o in orders]
+
+    def test_batch_admits_aligned_tickets(self):
+        sched = RequestScheduler()
+        tickets = sched.submit_batch(self._entries([18, 19, 20]))
+        assert len(tickets) == 3
+        assert all(isinstance(t, Ticket) for t in tickets)
+        assert [t.job.payload["order"] for t in tickets] == [18, 19, 20]
+        assert sched.pending_jobs() == 3
+
+    def test_batch_coalesces_identical_items_and_joins_inflight(self):
+        sched = RequestScheduler()
+        first = _submit(sched, 18)
+        tickets = sched.submit_batch(self._entries([18, 18, 19]))
+        # The two 18s join the existing job; only the 19 is a new job.
+        assert tickets[0].job is first.job and tickets[1].job is first.job
+        assert tickets[2].job is not first.job
+        assert sched.pending_jobs() == 2
+        assert sched.stats()["coalesced"] == 2
+        job = sched.next_job(timeout=0)
+        sched.complete(job, "done")
+        assert first.result(timeout=1) == "done"
+        assert tickets[0].result(timeout=1) == "done"
+
+    def test_batch_saturation_is_per_item(self):
+        sched = RequestScheduler(max_depth=2)
+        outcomes = sched.submit_batch(self._entries([18, 19, 20, 21, 18]))
+        assert isinstance(outcomes[0], Ticket)
+        assert isinstance(outcomes[1], Ticket)
+        assert isinstance(outcomes[2], SchedulerSaturatedError)
+        assert isinstance(outcomes[3], SchedulerSaturatedError)
+        # Coalescing joins are always admitted, even at max depth.
+        assert isinstance(outcomes[4], Ticket)
+        assert outcomes[4].job is outcomes[0].job
+        assert sched.stats()["rejected"] == 2
+
+    def test_batch_wakes_blocked_consumers(self):
+        sched = RequestScheduler()
+        got = []
+
+        def consumer():
+            got.append(sched.next_job(timeout=5.0))
+
+        threads = [threading.Thread(target=consumer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        sched.submit_batch(self._entries([18, 19]))
+        for t in threads:
+            t.join(timeout=6.0)
+        assert len(got) == 2 and all(j is not None for j in got)
+        assert {j.payload["order"] for j in got} == {18, 19}
+
+    def test_batch_priority_bump_on_join(self):
+        sched = RequestScheduler()
+        low = _submit(sched, 18, priority=0)
+        _submit(sched, 19, priority=5)
+        sched.submit_batch([(("costas", 18), {"order": 18}, 9)])
+        # The joined 18 was bumped above the priority-5 job.
+        assert sched.next_job(timeout=0) is low.job
+
+    def test_batch_after_close_raises(self):
+        sched = RequestScheduler()
+        sched.close()
+        with pytest.raises(RuntimeError):
+            sched.submit_batch(self._entries([18]))

@@ -120,6 +120,43 @@ class TestRegistry:
         assert defaults["restart_after"] == 2_000
         assert "check_period" in defaults
 
+    def test_adaptive_tuned_defaults_are_per_family(self):
+        """Every family resolves its own tuned ASParameters table through the
+        registry hook: the four tables are pairwise distinct and the Costas
+        one is still the paper's."""
+        from repro.core.params import ASParameters
+        from repro.problems import get_family
+
+        info = get_solver("adaptive")
+        tables = {}
+        for kind, order in (
+            ("costas", 14),
+            ("queens", 14),
+            ("all-interval", 14),
+            ("magic-square", 4),
+        ):
+            size = get_family(kind).instance_size(order)
+            params = info.default_params(kind, size)
+            assert isinstance(params, ASParameters), kind
+            tables[kind] = params
+        assert tables["costas"] == ASParameters.for_costas(14)
+        seen = list(tables.values())
+        assert len({repr(p) for p in seen}) == len(seen), "family tables collide"
+        # And the generic fallback still answers unregistered kinds.
+        assert isinstance(info.default_params("", 14), ASParameters)
+
+    def test_build_solver_resolves_family_table(self):
+        """build_solver with no explicit params picks the family's tuned
+        table (magic-square: plateau probability 0.9, tenure 2)."""
+        solver, _ = build_solver("adaptive", problem_kind="magic-square", order=16)
+        assert solver.params.plateau_probability == 0.9
+        assert solver.params.tabu_tenure == 2
+        solver, _ = build_solver("adaptive", problem_kind="all-interval", order=12)
+        assert solver.params.local_min_accept_probability == 0.5
+        assert solver.params.reset_limit == 1
+        solver, _ = build_solver("adaptive", problem_kind="queens", order=32)
+        assert solver.params.reset_percentage == 0.15
+
 
 class TestSpecsAndPortfolios:
     def test_resolve_spec_forms(self):

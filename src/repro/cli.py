@@ -178,6 +178,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="default solver/portfolio for requests that do not name one",
     )
+    p_serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for chaos testing: "
+        "'point=rate[,point=rate...][,seed=N]' or a JSON plan "
+        "(points: worker.crash, worker.hang, worker.slow, "
+        "store.read.error, store.write.locked, http.drop)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to drain in-flight solves on SIGTERM/SIGINT before "
+        "aborting what remains",
+    )
     p_serve.add_argument("--quiet", action="store_true", help="suppress per-request logging")
 
     p_req = sub.add_parser("request", help="submit one request to a running server")
@@ -209,6 +225,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_req.add_argument(
         "--timeout", type=float, default=600.0, help="client-side wait limit (s)"
+    )
+    p_req.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="server-side deadline (s): the request fails with 504 instead "
+        "of queueing past this budget",
+    )
+    p_req.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="client-side retries for 503 responses (honouring Retry-After) "
+        "and dropped connections, with jittered exponential backoff",
+    )
+    p_req.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="fail immediately on 503 or a dropped connection",
     )
     return parser
 
@@ -551,7 +586,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro.service.api import ServiceConfig
+    from repro.service.faults import FaultPlan
 
+    fault_plan = None
+    if args.faults is not None:
+        # Parse in the CLI so a typo'd spec is a one-line error, not a
+        # traceback out of the service constructor.
+        try:
+            fault_plan = FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: --faults: {exc}", file=sys.stderr)
+            return 1
     config = ServiceConfig(
         store_path=args.db,
         n_workers=args.workers,
@@ -559,6 +604,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.queue_depth,
         default_max_time=args.max_time,
         default_solver=args.solver,
+        fault_plan=fault_plan,
+        drain_timeout=args.drain_timeout,
     )
     if args.frontend_async:
         from repro.service.http_async import AsyncServiceHTTPServer
@@ -580,8 +627,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"workers={server.service.pool.n_workers}, "
         f"queue_depth={args.queue_depth})"
     )
+    if fault_plan is not None and fault_plan.enabled:
+        print(f"fault injection ACTIVE: {fault_plan.to_json()}")
     # SIGTERM (the default `kill`, and what container runtimes send) drains
-    # exactly like Ctrl-C instead of killing mid-solve.
+    # exactly like Ctrl-C instead of killing mid-solve.  The async front-end
+    # re-registers both signals on its event loop, where they resolve the
+    # shutdown future instead of raising — either way serve_forever returns
+    # and the bounded drain below runs.
     def _terminate(signum, frame):
         raise KeyboardInterrupt
 
@@ -589,21 +641,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\ndraining workers ...")
+        pass
     finally:
+        print("\ndraining workers ...")
         signal.signal(signal.SIGTERM, previous_term)
         server.stop(drain=True)
     return 0
 
 
 def _cmd_request(args: argparse.Namespace) -> int:
+    import http.client
+    import random
     import time as time_module
     import urllib.error
     import urllib.request
 
-    base = args.url.rstrip("/")
+    from repro.service.faults import RetryPolicy
 
-    def _call(method: str, path: str, body=None, timeout: float = 30.0):
+    base = args.url.rstrip("/")
+    # HTTPError never reaches these handlers (it carries a parsed status and
+    # is absorbed by _call_once); ValueError covers truncated/garbled JSON
+    # from a connection dropped mid-response.
+    _NETWORK_ERRORS = (
+        http.client.HTTPException,
+        urllib.error.URLError,
+        OSError,
+        ValueError,
+    )
+    retries = 0 if args.no_retry else max(0, args.retries)
+    backoff = RetryPolicy(
+        attempts=retries + 1, base_delay=0.2, factor=2.0, max_delay=5.0
+    )
+    rng = random.Random()
+
+    def _call_once(method: str, path: str, body=None, timeout: float = 30.0):
         data = None if body is None else json.dumps(body).encode("utf-8")
         req = urllib.request.Request(
             base + path,
@@ -613,14 +684,54 @@ def _cmd_request(args: argparse.Namespace) -> int:
         )
         try:
             with urllib.request.urlopen(req, timeout=timeout) as resp:
-                return resp.status, json.loads(resp.read().decode("utf-8"))
+                return (
+                    resp.status,
+                    json.loads(resp.read().decode("utf-8")),
+                    resp.headers,
+                )
         except urllib.error.HTTPError as exc:
-            return exc.code, json.loads(exc.read().decode("utf-8") or "{}")
+            return exc.code, json.loads(exc.read().decode("utf-8") or "{}"), exc.headers
+
+    def _call(method: str, path: str, body=None, timeout: float = 30.0):
+        """One logical request: 503s (honouring ``Retry-After``) and dropped
+        connections are retried with jittered exponential backoff."""
+        attempt = 0
+        while True:
+            try:
+                status, payload, headers = _call_once(method, path, body, timeout)
+            except _NETWORK_ERRORS as exc:
+                if attempt >= retries:
+                    raise
+                delay = backoff.delay(attempt + 1, rng)
+                print(
+                    f"connection dropped ({exc}); retry "
+                    f"{attempt + 1}/{retries} in {delay:.1f}s",
+                    file=sys.stderr,
+                )
+            else:
+                if status != 503 or attempt >= retries:
+                    return status, payload
+                delay = backoff.delay(attempt + 1, rng)
+                retry_after = headers.get("Retry-After")
+                if retry_after is not None:
+                    try:
+                        delay = max(delay, float(retry_after))
+                    except ValueError:
+                        pass
+                print(
+                    f"server busy ({payload.get('error', 'unavailable')}); "
+                    f"retry {attempt + 1}/{retries} in {delay:.1f}s",
+                    file=sys.stderr,
+                )
+            attempt += 1
+            time_module.sleep(delay)
 
     def _item_body(order: int) -> dict:
         body = {"order": order, "kind": args.kind, "priority": args.priority}
         if args.max_time is not None:
             body["max_time"] = args.max_time
+        if args.deadline is not None:
+            body["deadline"] = args.deadline
         if args.solver is not None:
             body["solver"] = args.solver
         return body
@@ -648,7 +759,7 @@ def _cmd_request(args: argparse.Namespace) -> int:
             status, payload = _call(
                 "POST", "/solve-batch", body, timeout=args.timeout
             )
-        except (urllib.error.URLError, OSError) as exc:
+        except _NETWORK_ERRORS as exc:
             print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
             return 1
         if status != 200:
@@ -667,7 +778,7 @@ def _cmd_request(args: argparse.Namespace) -> int:
     for order in args.orders:
         try:
             status, payload = _call("POST", "/solve", _item_body(order))
-        except (urllib.error.URLError, OSError) as exc:
+        except _NETWORK_ERRORS as exc:
             print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
             return 1
         if status == 503:
@@ -688,7 +799,7 @@ def _cmd_request(args: argparse.Namespace) -> int:
             time_module.sleep(0.2)
             try:
                 status, payload = _call("GET", f"/result/{payload['request_id']}")
-            except (urllib.error.URLError, OSError) as exc:
+            except _NETWORK_ERRORS as exc:
                 print(f"error: lost contact with {base}: {exc}", file=sys.stderr)
                 return 1
         if status != 200 or not payload.get("solved"):

@@ -34,8 +34,16 @@ import numpy as np
 
 from repro.exceptions import ReproError, SolverError
 from repro.problems import get_family
+from repro.service.faults import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    FaultInjector,
+    FaultPlan,
+    ServiceDegradedError,
+)
 from repro.service.scheduler import Job, RequestScheduler, Ticket
-from repro.service.store import SolutionStore
+from repro.service.store import SolutionStore, StoreUnavailableError
 from repro.service.workers import PoolJobHandle, WorkerPool
 from repro.solvers import (
     canonical_portfolio,
@@ -80,6 +88,33 @@ class ServiceConfig:
     #: Upper bound on the number of items one ``submit_batch`` call (one
     #: ``POST /solve-batch`` body) may carry.
     max_batch_items: int = 128
+    #: Fault-injection plan: a :class:`~repro.service.faults.FaultPlan`, its
+    #: dict/JSON/CLI-shorthand form, or ``None`` to fall back to whatever the
+    #: ``REPRO_FAULTS`` environment variable carries (usually nothing).
+    fault_plan: Optional[Any] = None
+    #: Consecutive search failures of one ``(kind, n)`` before its circuit
+    #: breaker opens, and how long it stays open before a half-open probe.
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    #: How many times one walk is requeued after its worker died; the retry
+    #: delays follow an exponential-backoff policy inside the pool.
+    max_walk_retries: int = 2
+    #: Seconds a worker may look dead before its walks are requeued.
+    liveness_grace: float = 5.0
+    #: Seconds past a walk's time budget before it is declared hung and its
+    #: worker terminated.
+    hang_grace: float = 5.0
+    #: Default per-request deadline in seconds (``None`` = no deadline).
+    default_deadline: Optional[float] = None
+    #: Bounded wait for in-flight requests during graceful shutdown.
+    drain_timeout: float = 10.0
+    #: Seconds the pool may be observed with zero live workers before
+    #: degraded mode refuses fresh solves.  Worker deaths are routinely
+    #: transient (the collector respawns them within ``liveness_grace``),
+    #: so a momentarily-empty pool queues work instead of bouncing it;
+    #: only a pool that *stays* dead — respawns not taking — trips the
+    #: refusal.  ``None`` derives ``max(2.0, 2 * liveness_grace)``.
+    pool_dead_grace: Optional[float] = None
 
 
 @dataclass
@@ -234,7 +269,18 @@ class SolverService:
 
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config if config is not None else ServiceConfig()
-        self.store = SolutionStore(self.config.store_path)
+        self.fault_plan = self._resolve_fault_plan(self.config.fault_plan)
+        #: Injector behind the front-ends' ``http.drop`` point (scoped so it
+        #: draws independently of the store's and the workers' streams).
+        self.http_faults = FaultInjector(self.fault_plan, scope="http")
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        self.store = SolutionStore(
+            self.config.store_path,
+            faults=FaultInjector(self.fault_plan, scope="store"),
+        )
         self.scheduler = RequestScheduler(
             max_depth=self.config.max_queue_depth,
             on_cancel_running=self._abort_running_job,
@@ -243,6 +289,10 @@ class SolverService:
             self.config.n_workers,
             mp_context=self.config.mp_context,
             seed_root=self.config.seed_root,
+            max_walk_retries=self.config.max_walk_retries,
+            liveness_grace=self.config.liveness_grace,
+            hang_grace=self.config.hang_grace,
+            faults=self.fault_plan,
         )
         self._lock = threading.Lock()
         self._requests: Dict[str, ServiceRequest] = {}
@@ -275,6 +325,15 @@ class SolverService:
         )
         self._closed = False
         self._started_at = time.time()
+        #: Monotonic instant the pool was first observed with zero live
+        #: workers (``None`` while any worker is alive); degraded mode only
+        #: refuses once this persists past ``pool_dead_grace``.
+        self._pool_dead_since: Optional[float] = None
+        self._pool_dead_grace = (
+            self.config.pool_dead_grace
+            if self.config.pool_dead_grace is not None
+            else max(2.0, 2.0 * self.config.liveness_grace)
+        )
         self._immediate = {"store": 0, "construction": 0}
         self._searches = 0
         self._batches = 0
@@ -284,6 +343,84 @@ class SolverService:
         # search solves by the winning strategy's name.
         self._solver_requests: Dict[str, int] = {}
         self._solver_solves: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ failure policy
+    @staticmethod
+    def _resolve_fault_plan(plan: Any) -> Optional[FaultPlan]:
+        """Normalise the config's fault plan; fall back to ``REPRO_FAULTS``.
+
+        A malformed environment value raises here, at construction: silently
+        running without the chaos that was asked for would make a red chaos
+        suite look green.
+        """
+        if plan is None:
+            return FaultPlan.from_env()
+        if isinstance(plan, FaultPlan):
+            return plan
+        if isinstance(plan, str):
+            return FaultPlan.parse(plan)
+        if isinstance(plan, Mapping):
+            return FaultPlan.from_dict(plan)
+        raise SolverError(
+            f"fault_plan must be a FaultPlan, str, mapping or None, "
+            f"got {type(plan).__name__}"
+        )
+
+    def degraded_reason(self) -> Optional[str]:
+        """Why fresh solves are currently refused, or ``None`` when healthy.
+
+        Degraded mode refuses only the search tier: store hits and
+        construction answers keep flowing, so a sick pool or a quarantined
+        store shrinks the service instead of killing it.
+        """
+        quarantined = self.store.quarantined
+        if quarantined is not None:
+            return f"store quarantined: {quarantined}"
+        pool_stats = self.pool.stats()
+        if pool_stats["started"] and pool_stats["alive_workers"] == 0:
+            # Worker deaths are routinely transient — the collector respawns
+            # them — so an empty pool queues work rather than bouncing it.
+            # Refuse only when the pool *stays* dead past the grace window,
+            # i.e. respawns are not taking.
+            now = time.monotonic()
+            if self._pool_dead_since is None:
+                self._pool_dead_since = now
+            if now - self._pool_dead_since >= self._pool_dead_grace:
+                return "no live workers"
+        else:
+            self._pool_dead_since = None
+        return None
+
+    def _admit_search(self, kind: str, order: int) -> None:
+        """Gate one search-tier admission: degraded mode, then the breaker.
+
+        Runs *after* the immediate tiers so degraded mode never refuses what
+        the store or a construction can still answer.
+        """
+        reason = self.degraded_reason()
+        if reason is not None:
+            raise ServiceDegradedError(
+                f"service degraded ({reason}); fresh solves are refused",
+                retry_after=5.0,
+            )
+        allowed, retry_after = self.breaker.allow((kind, int(order)))
+        if not allowed:
+            raise CircuitOpenError(
+                f"circuit open for {kind} n={order} after repeated failures; "
+                f"retry in {retry_after:.1f}s",
+                retry_after=retry_after,
+            )
+
+    def _deadline_at(self, deadline: Optional[float]) -> Optional[float]:
+        """Absolute ``time.time()`` deadline for a request, or ``None``."""
+        if deadline is None:
+            deadline = self.config.default_deadline
+        if deadline is None:
+            return None
+        deadline = float(deadline)
+        if deadline <= 0:
+            raise SolverError(f"deadline must be > 0 seconds, got {deadline}")
+        return time.time() + deadline
 
     # ----------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -317,6 +454,23 @@ class SolverService:
                 request.future.set_exception(SolverError("service shut down"))
             except InvalidStateError:
                 pass
+        # Failing the futures published terminal events through the normal
+        # done-callback path; anything still registered (a subscriber that
+        # raced its registration against shutdown) is force-closed here so no
+        # SSE stream is left hanging.
+        with self._lock:
+            leftovers = [sub for subs in self._subscribers.values() for sub in subs]
+            self._subscribers.clear()
+        for sub in leftovers:
+            sub.push(
+                {
+                    "event": "failed",
+                    "request_id": sub.request_id,
+                    "status": "failed",
+                    "error": "service shut down",
+                }
+            )
+            sub.close()
         self.store.close()
 
     @property
@@ -338,6 +492,7 @@ class SolverService:
         kind: str = "costas",
         priority: int = 0,
         max_time: Optional[float] = None,
+        deadline: Optional[float] = None,
         solver: Optional[Any] = None,
         model_options: Optional[Mapping[str, Any]] = None,
         use_store: Optional[bool] = None,
@@ -372,10 +527,21 @@ class SolverService:
         the store (a fresh solve is wanted); whether results are *inserted*
         is service policy (``config.use_store``) on every tier, so a bypass
         request still warms the store for everyone else.
+
+        ``deadline`` (seconds from now) bounds the *whole* request: a job
+        still queued past it fails with
+        :class:`~repro.service.faults.DeadlineExceededError`, and a running
+        walk's time budget is capped by what remains.  Search admission can
+        also raise :class:`~repro.service.faults.ServiceDegradedError` (sick
+        pool or quarantined store) or
+        :class:`~repro.service.faults.CircuitOpenError` (this ``(kind, n)``
+        keeps failing) — both fail fast *after* the immediate tiers had their
+        chance, so store and construction answers flow even then.
         """
         if self._closed:
             raise SolverError("service is closed")
         family, kind, specs = self._resolve_selection(order, kind, solver)
+        deadline_at = self._deadline_at(deadline)
         self.start()
         request = self._new_request(order, kind)
         start = time.perf_counter()
@@ -387,10 +553,15 @@ class SolverService:
             start=start,
         ):
             return request
-        payload = self._search_payload(kind, order, specs, max_time, model_options)
+        payload = self._search_payload(
+            kind, order, specs, max_time, model_options, deadline_at
+        )
         key = self._instance_key(kind, order, payload)
         try:
-            ticket = self.scheduler.submit(key, payload, priority=priority)
+            self._admit_search(kind, order)
+            ticket = self.scheduler.submit(
+                key, payload, priority=priority, deadline_at=deadline_at
+            )
         except ReproError:
             with self._lock:
                 self._requests.pop(request.request_id, None)
@@ -435,8 +606,18 @@ class SolverService:
         # Identical instances inside one batch share a single store read /
         # construction call — part of the batch's amortisation.
         immediate_cache: Dict[Tuple[Any, ...], Optional[Tuple[np.ndarray, str]]] = {}
-        #: (item index, request, key, payload, priority, tier start time)
-        queued: List[Tuple[int, ServiceRequest, Tuple[Any, ...], Dict[str, Any], int, float]] = []
+        #: (item index, request, key, payload, priority, deadline, start time)
+        queued: List[
+            Tuple[
+                int,
+                ServiceRequest,
+                Tuple[Any, ...],
+                Dict[str, Any],
+                int,
+                Optional[float],
+                float,
+            ]
+        ] = []
         for index, item in enumerate(items):
             try:
                 if not isinstance(item, Mapping):
@@ -450,6 +631,7 @@ class SolverService:
                 item_priority = int(item.get("priority", priority))
                 max_time = item.get("max_time")
                 max_time = float(max_time) if max_time is not None else None
+                deadline_at = self._deadline_at(item.get("deadline"))
                 model_options = item.get("model_options")
                 if model_options is not None and not isinstance(model_options, Mapping):
                     raise SolverError(
@@ -473,13 +655,27 @@ class SolverService:
             ):
                 outcomes[index] = request
                 continue
-            payload = self._search_payload(kind, order, specs, max_time, model_options)
+            payload = self._search_payload(
+                kind, order, specs, max_time, model_options, deadline_at
+            )
             key = self._instance_key(kind, order, payload)
-            queued.append((index, request, key, payload, item_priority, start))
+            try:
+                self._admit_search(kind, order)
+            except ReproError as exc:
+                with self._lock:
+                    self._requests.pop(request.request_id, None)
+                outcomes[index] = exc
+                continue
+            queued.append(
+                (index, request, key, payload, item_priority, deadline_at, start)
+            )
         if queued:
             try:
                 tickets = self.scheduler.submit_batch(
-                    [(key, payload, prio) for _, _, key, payload, prio, _ in queued]
+                    [
+                        (key, payload, prio, deadline_at)
+                        for _, _, key, payload, prio, deadline_at, _ in queued
+                    ]
                 )
             except RuntimeError:
                 # The scheduler closed underneath the batch: fail the queued
@@ -487,7 +683,7 @@ class SolverService:
                 tickets = [
                     SolverError("service is closed") for _ in queued  # type: ignore[misc]
                 ]
-            for (index, request, _, _, _, start), ticket in zip(queued, tickets):
+            for (index, request, _, _, _, _, start), ticket in zip(queued, tickets):
                 if isinstance(ticket, ReproError):
                     with self._lock:
                         self._requests.pop(request.request_id, None)
@@ -605,7 +801,10 @@ class SolverService:
             solution = family.try_construct(request.order)
             if solution is not None:
                 if self.config.use_store:
-                    self.store.insert(kind, solution, source="construction")
+                    try:
+                        self.store.insert(kind, solution, source="construction")
+                    except StoreUnavailableError:
+                        pass  # the construction answer is served regardless
                 if immediate_cache is not None:
                     immediate_cache[cache_key] = (solution, "construction")
                 with self._lock:
@@ -625,9 +824,16 @@ class SolverService:
         specs: List[Any],
         max_time: Optional[float],
         model_options: Optional[Mapping[str, Any]],
+        deadline_at: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Tier-3 job payload.  A single-member portfolio travels as one spec
-        dict; a real portfolio as a list the pool assigns round-robin."""
+        dict; a real portfolio as a list the pool assigns round-robin.
+
+        ``deadline_at`` rides in the payload (workers cap their budget with
+        it) but is **not** part of the coalescing identity — two requests
+        differing only in patience share one solve; the scheduler keeps the
+        job's deadline as the loosest of its tickets'.
+        """
         solver_payload = (
             specs[0].as_dict() if len(specs) == 1 else [s.as_dict() for s in specs]
         )
@@ -637,6 +843,7 @@ class SolverService:
             "solver": solver_payload,
             "params": None,
             "max_time": max_time if max_time is not None else self.config.default_max_time,
+            "deadline_at": deadline_at,
             "model_options": dict(model_options) if model_options else {},
             "progress_interval": self.config.progress_interval,
         }
@@ -757,6 +964,10 @@ class SolverService:
                     return
                 continue
             self._searches += 1
+            # Late coalescers may have loosened the job's deadline since
+            # admission; the workers read the payload, so refresh it now that
+            # the job is leaving the scheduler.
+            job.payload["deadline_at"] = job.deadline_at
             # A heterogeneous portfolio needs one walk per member to actually
             # race; a larger walks_per_job fans each member out over seeds too.
             solver = job.payload.get("solver")
@@ -816,22 +1027,57 @@ class SolverService:
                 self.pool.cancel(handle)
 
     def _on_pool_done(self, job: Job, handle: PoolJobHandle) -> None:
-        """Pool collector callback: persist, then fan the result out."""
+        """Pool collector callback: persist, record breaker outcome, fan out.
+
+        Breaker accounting: a worker-level failure (repeated deaths, an
+        exception in the walk) counts against the ``(kind, n)`` breaker; a
+        clean outcome — solved, or honestly unsolved within its budget —
+        counts as a success; cancellations and deadline expiries count as
+        neither (they say nothing about the instance's health).
+        """
         with self._lock:
             self._job_handles.pop(id(job), None)
             permits = self._job_permits.pop(id(job), 1)
         for _ in range(permits):
             self._slots.release()
+        breaker_key = (job.payload["kind"], int(job.payload["order"]))
         best = handle.best
         if handle.cancelled and (best is None or not best.solved):
             self.scheduler.fail(job, CancelledError())
             return
+        deadline_at = job.deadline_at
+        deadline_expired = deadline_at is not None and time.time() >= deadline_at
         if best is None:
+            if deadline_expired:
+                self.scheduler.fail(
+                    job,
+                    DeadlineExceededError(
+                        f"deadline expired before {breaker_key[0]} "
+                        f"n={breaker_key[1]} finished"
+                    ),
+                )
+                return
+            self.breaker.record_failure(breaker_key)
             self.scheduler.fail(
                 job,
                 SolverError(handle.failure or "search produced no result"),
             )
             return
+        if not best.solved and deadline_expired:
+            self.scheduler.fail(
+                job,
+                DeadlineExceededError(
+                    f"deadline expired while solving {breaker_key[0]} "
+                    f"n={breaker_key[1]}"
+                ),
+            )
+            return
+        if handle.failure is not None and not best.solved:
+            # Some walks died even though others reported: a partial failure
+            # still feeds the breaker.
+            self.breaker.record_failure(breaker_key)
+        else:
+            self.breaker.record_success(breaker_key)
         solution = best.configuration if best.solved else None
         if best.solved:
             with self._lock:
@@ -841,6 +1087,10 @@ class SolverService:
         if best.solved and self.config.use_store:
             try:
                 self.store.insert(job.payload["kind"], solution, source="search")
+            except StoreUnavailableError:
+                # The client still gets its solution; the store's sickness is
+                # visible through health() and degraded-mode admission.
+                pass
             except ReproError:  # pragma: no cover - invalid result guard
                 self.scheduler.fail(
                     job, SolverError("search returned an invalid solution")
@@ -984,6 +1234,70 @@ class SolverService:
             return self.scheduler.cancel(request.ticket)
         return request.future.cancel()
 
+    def health(self) -> Dict[str, Any]:
+        """Readiness/liveness report: ``ok`` / ``degraded`` / ``failing``.
+
+        ``failing`` means the service answers nothing (it is closed);
+        ``degraded`` means the immediate tiers still answer but fresh solves
+        are refused (quarantined store, dead pool) or capacity is reduced
+        (dead-but-respawning workers, open breakers).  The per-component
+        detail under ``"components"`` names the culprit.  The legacy
+        top-level ``"status"`` and ``"pool"`` keys are preserved for older
+        monitoring.
+        """
+        store_health = self.store.health()
+        pool_stats = self.pool.stats()
+        breaker = self.breaker.snapshot()
+        scheduler_stats = self.scheduler.stats()
+        alive = pool_stats["alive_workers"]
+        degraded = None if self._closed else self.degraded_reason()
+        if not pool_stats["started"]:
+            pool_status = "ok"  # lazily started on first search-tier request
+        elif alive == 0:
+            # Dead-but-within-grace means the collector is respawning and
+            # queued work will still be served; only a pool that stayed
+            # dead past the grace window is genuinely failing.
+            pool_status = "failing" if degraded == "no live workers" else "degraded"
+        elif alive < pool_stats["n_workers"]:
+            pool_status = "degraded"
+        else:
+            pool_status = "ok"
+        breaker_status = "degraded" if breaker["open"] else "ok"
+        components = {
+            "store": store_health,
+            "pool": {"status": pool_status, **pool_stats},
+            "scheduler": {
+                "status": "ok" if not self.scheduler.closed else "failing",
+                **scheduler_stats,
+            },
+            "breaker": {"status": breaker_status, **breaker},
+        }
+        reason: Optional[str] = None
+        if self._closed:
+            status = "failing"
+            reason = "service is closed"
+        else:
+            reason = degraded
+            if reason is None and (
+                pool_status == "degraded" or breaker_status == "degraded"
+            ):
+                reason = (
+                    f"{pool_stats['n_workers'] - alive} worker(s) down"
+                    if pool_status == "degraded"
+                    else f"open breakers: {', '.join(breaker['open'])}"
+                )
+            status = "ok" if reason is None else "degraded"
+        return {
+            "status": status,
+            "reason": reason,
+            "pool": pool_stats,
+            "components": components,
+            "faults": {
+                "enabled": self.fault_plan is not None and self.fault_plan.enabled,
+                "rates": dict(self.fault_plan.rates) if self.fault_plan else {},
+            },
+        }
+
     def stats(self) -> Dict[str, Any]:
         """One JSON-friendly snapshot across store, scheduler and pool."""
         with self._lock:
@@ -1015,6 +1329,7 @@ class SolverService:
             "store": self.store.snapshot(),
             "scheduler": self.scheduler.stats(),
             "pool": self.pool.stats(),
+            "breaker": self.breaker.snapshot(),
             "config": {
                 "n_workers": self.pool.n_workers,
                 "walks_per_job": self.config.walks_per_job,

@@ -49,6 +49,11 @@ from typing import Any, Dict, Optional, Tuple
 from repro.exceptions import ReproError
 from repro.problems import list_families
 from repro.service.api import ServiceConfig, SolverService
+from repro.service.faults import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceDegradedError,
+)
 from repro.service.scheduler import SchedulerSaturatedError
 
 __all__ = ["ServiceHTTPServer", "serve"]
@@ -78,11 +83,23 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(fmt, *args)
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if self.server.service.http_faults.fires("http.drop"):
+            # Injected connection drop: hang up instead of answering, so
+            # clients exercise their dropped-response handling.
+            self.close_connection = True
+            return
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             # Set by the handler when the request body was left unread (e.g.
             # a rejected chunked body): the connection cannot be reused, and
@@ -109,18 +126,26 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return payload if isinstance(payload, dict) else None
 
+    def _send_503(self, exc: BaseException, retry_after: float) -> None:
+        """One shape for every backpressure/degraded/breaker rejection."""
+        seconds = max(1, int(round(retry_after)))
+        self._send_json(
+            503,
+            {"error": str(exc), "retry": True, "retry_after": seconds},
+            headers={"Retry-After": str(seconds)},
+        )
+
     # ---------------------------------------------------------------- routing
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
         if self.path == "/healthz":
-            pool = service.pool.stats()
-            healthy = not service.closed and (
-                not pool["started"] or pool["alive_workers"] > 0
-            )
-            self._send_json(
-                200 if healthy else 503,
-                {"status": "ok" if healthy else "degraded", "pool": pool},
-            )
+            health = service.health()
+            if health["status"] == "failing":
+                self._send_json(503, health, headers={"Retry-After": "5"})
+            else:
+                # "degraded" still answers 200: the immediate tiers serve, so
+                # load balancers should keep routing; the body says why.
+                self._send_json(200, health)
         elif self.path == "/stats":
             self._send_json(200, service.stats())
         elif self.path == "/problems":
@@ -174,8 +199,12 @@ class _Handler(BaseHTTPRequestHandler):
             priority = int(payload.get("priority", 0))
             max_time = payload.get("max_time")
             max_time = float(max_time) if max_time is not None else None
+            deadline = payload.get("deadline")
+            deadline = float(deadline) if deadline is not None else None
         except (TypeError, ValueError):
-            self._send_json(400, {"error": "priority/max_time must be numeric"})
+            self._send_json(
+                400, {"error": "priority/max_time/deadline must be numeric"}
+            )
             return
         model_options = payload.get("model_options")
         if model_options is not None and not isinstance(model_options, dict):
@@ -187,13 +216,20 @@ class _Handler(BaseHTTPRequestHandler):
                 kind=str(payload.get("kind", "costas")),
                 priority=priority,
                 max_time=max_time,
+                deadline=deadline,
                 solver=payload.get("solver"),
                 model_options=model_options,
                 use_store=payload.get("use_store"),
                 use_constructions=payload.get("use_constructions"),
             )
         except SchedulerSaturatedError as exc:
-            self._send_json(503, {"error": str(exc), "retry": True})
+            self._send_503(exc, 1.0)
+            return
+        except (CircuitOpenError, ServiceDegradedError) as exc:
+            self._send_503(exc, exc.retry_after)
+            return
+        except DeadlineExceededError as exc:
+            self._send_json(504, {"error": str(exc), "status": "deadline"})
             return
         except ReproError as exc:
             self._send_json(400, {"error": str(exc)})
@@ -224,6 +260,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         except FutureTimeoutError:
             self._send_json(202, {"request_id": request_id, "status": "pending"})
+            return
+        except DeadlineExceededError as exc:
+            self._send_json(
+                504, {"request_id": request_id, "status": "deadline", "error": str(exc)}
+            )
             return
         except ReproError as exc:
             self._send_json(500, {"request_id": request_id, "error": str(exc)})
@@ -265,14 +306,24 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self._thread.start()
 
     def stop(self, *, drain: bool = True) -> None:
-        """Stop serving; shut the service down when this server created it."""
+        """Graceful stop: quit accepting, then drain the service (bounded).
+
+        ``shutdown()`` stops the accept loop (in-flight handler threads keep
+        running as daemons); the owned service then refuses new work and
+        drains in-flight solves for at most ``config.drain_timeout`` seconds
+        before aborting what remains — so a wedged walk cannot hold the
+        process hostage on SIGTERM.
+        """
         self.shutdown()
         self.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
         if self._owns_service:
-            self.service.close(drain=drain)
+            self.service.close(
+                drain=drain,
+                timeout=self.service.config.drain_timeout if drain else 0.0,
+            )
 
 
 def serve(

@@ -45,6 +45,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import socket
 import threading
 from concurrent.futures import CancelledError
@@ -59,6 +60,11 @@ from repro.service.api import (
     ServiceConfig,
     ServiceRequest,
     SolverService,
+)
+from repro.service.faults import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceDegradedError,
 )
 from repro.service.http import _MAX_WAIT_SECONDS, _family_listing
 from repro.service.scheduler import SchedulerSaturatedError
@@ -154,6 +160,8 @@ class AsyncServiceHTTPServer:
         self._started = threading.Event()
         self._stop_requested = threading.Event()
         self._stopped = False
+        self._drain = True
+        self._conn_tasks: "set[asyncio.Task]" = set()
         # Blocking service-core calls (submit, store reads, stats) run here;
         # waiting on futures does not, so the pool stays small no matter how
         # many clients are parked on wait=true.
@@ -187,30 +195,62 @@ class AsyncServiceHTTPServer:
         server = await asyncio.start_server(
             self._handle_client, sock=self._sock, limit=_MAX_LINE
         )
+        try:
+            # When serving on the main thread (the CLI), catch SIGTERM/SIGINT
+            # inside the loop so shutdown runs the graceful path below instead
+            # of unwinding through KeyboardInterrupt mid-write.
+            self._loop.add_signal_handler(signal.SIGTERM, self._signal_stop)
+            self._loop.add_signal_handler(signal.SIGINT, self._signal_stop)
+        except (ValueError, NotImplementedError, RuntimeError):
+            pass  # background-thread mode: signals stay with the embedding app
         self._started.set()
         try:
             await self._shutdown
         finally:
+            # Graceful teardown, in order: stop accepting; close the owned
+            # service *while the loop still runs* so failed pending futures
+            # deliver their terminal SSE events to open /events streams; then
+            # give in-flight connections a bounded drain before cancelling.
             server.close()
             await server.wait_closed()
+            if self._owns_service:
+                drain = self._drain
+                timeout = self.service.config.drain_timeout if drain else 0.0
+                await self._loop.run_in_executor(
+                    self._executor,
+                    lambda: self.service.close(drain=drain, timeout=timeout),
+                )
+            if self._conn_tasks:
+                _, leftover = await asyncio.wait(
+                    set(self._conn_tasks),
+                    timeout=self.service.config.drain_timeout,
+                )
+                for task in leftover:
+                    task.cancel()
+                if leftover:
+                    await asyncio.gather(*leftover, return_exceptions=True)
+
+    def _signal_stop(self) -> None:
+        """Signal-handler body: resolve the shutdown future (idempotent)."""
+        if self._shutdown is not None and not self._shutdown.done():
+            self._shutdown.set_result(None)
 
     def stop(self, *, drain: bool = True) -> None:
         """Stop serving; shut the service down when this server created it."""
         if self._stopped:
             return
         self._stopped = True
+        self._drain = drain
         loop = self._loop
         if loop is not None and not loop.is_closed():
-            def _request_shutdown() -> None:
-                if self._shutdown is not None and not self._shutdown.done():
-                    self._shutdown.set_result(None)
-
             try:
-                loop.call_soon_threadsafe(_request_shutdown)
+                loop.call_soon_threadsafe(self._signal_stop)
             except RuntimeError:  # pragma: no cover - loop already closed
                 pass
         if self._thread is not None:
-            self._thread.join(timeout=10.0)
+            self._thread.join(
+                timeout=self.service.config.drain_timeout + 15.0
+            )
             self._thread = None
         try:
             self._sock.close()
@@ -218,7 +258,12 @@ class AsyncServiceHTTPServer:
             pass
         self._executor.shutdown(wait=False)
         if self._owns_service:
-            self.service.close(drain=drain)
+            # Idempotent: the loop's teardown normally closed it already; this
+            # covers servers whose loop never ran.
+            self.service.close(
+                drain=drain,
+                timeout=self.service.config.drain_timeout if drain else 0.0,
+            )
 
     # -------------------------------------------------------------------- parsing
     async def _read_request(
@@ -277,7 +322,11 @@ class AsyncServiceHTTPServer:
     # ------------------------------------------------------------------ responses
     @staticmethod
     def _json_bytes(
-        status: int, payload: Dict[str, Any], *, close: bool = False
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        close: bool = False,
+        headers: Optional[Dict[str, str]] = None,
     ) -> bytes:
         body = json.dumps(payload).encode("utf-8")
         reason = HTTPStatus(status).phrase if status in HTTPStatus._value2member_map_ else ""
@@ -286,10 +335,23 @@ class AsyncServiceHTTPServer:
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
         )
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
         if close:
             head += "Connection: close\r\n"
         head += "\r\n"
         return head.encode("latin-1") + body
+
+    @staticmethod
+    def _reject(exc: BaseException, retry_after: float) -> Tuple[Any, ...]:
+        """One shape for every backpressure/degraded/breaker rejection."""
+        seconds = max(1, int(round(retry_after)))
+        return (
+            503,
+            {"error": str(exc), "retry": True, "retry_after": seconds},
+            False,
+            {"Retry-After": str(seconds)},
+        )
 
     def _log(self, request: _HTTPRequest, status: int) -> None:
         if self.verbose:  # pragma: no cover - logging only
@@ -299,6 +361,9 @@ class AsyncServiceHTTPServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
                 try:
@@ -316,16 +381,26 @@ class AsyncServiceHTTPServer:
                         reader, writer, request.path[len("/events/") :]
                     )
                     break  # SSE streams are Connection: close by design
-                status, payload, close = await self._dispatch(request)
+                reply = await self._dispatch(request)
+                status, payload, close = reply[0], reply[1], reply[2]
+                headers = reply[3] if len(reply) > 3 else None
                 self._log(request, status)
                 close = close or request.close
-                writer.write(self._json_bytes(status, payload, close=close))
+                if self.service.http_faults.fires("http.drop"):
+                    # Injected connection drop: hang up instead of answering,
+                    # so clients exercise their dropped-response handling.
+                    break
+                writer.write(
+                    self._json_bytes(status, payload, close=close, headers=headers)
+                )
                 await writer.drain()
                 if close:
                     break
         except (ConnectionError, TimeoutError, asyncio.CancelledError):
             pass
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -335,10 +410,9 @@ class AsyncServiceHTTPServer:
                 pass
 
     # ------------------------------------------------------------------- routing
-    async def _dispatch(
-        self, request: _HTTPRequest
-    ) -> Tuple[int, Dict[str, Any], bool]:
-        """Route one request; returns ``(status, json payload, close?)``."""
+    async def _dispatch(self, request: _HTTPRequest) -> Tuple[Any, ...]:
+        """Route one request; returns ``(status, json payload, close?)`` plus
+        an optional fourth element of extra response headers."""
         method, path = request.method, request.path
         if method == "GET":
             if path == "/healthz":
@@ -372,16 +446,13 @@ class AsyncServiceHTTPServer:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._executor, fn, *args)
 
-    async def _get_healthz(self) -> Tuple[int, Dict[str, Any], bool]:
-        pool = await self._call(self.service.pool.stats)
-        healthy = not self.service.closed and (
-            not pool["started"] or pool["alive_workers"] > 0
-        )
-        return (
-            200 if healthy else 503,
-            {"status": "ok" if healthy else "degraded", "pool": pool},
-            False,
-        )
+    async def _get_healthz(self) -> Tuple[Any, ...]:
+        health = await self._call(self.service.health)
+        if health["status"] == "failing":
+            return 503, health, False, {"Retry-After": "5"}
+        # "degraded" still answers 200: the immediate tiers serve, so load
+        # balancers should keep routing; the body says why.
+        return 200, health, False
 
     # ------------------------------------------------------------------ /solve
     async def _post_solve(
@@ -399,8 +470,14 @@ class AsyncServiceHTTPServer:
             priority = int(payload.get("priority", 0))
             max_time = payload.get("max_time")
             max_time = float(max_time) if max_time is not None else None
+            deadline = payload.get("deadline")
+            deadline = float(deadline) if deadline is not None else None
         except (TypeError, ValueError):
-            return 400, {"error": "priority/max_time must be numeric"}, False
+            return (
+                400,
+                {"error": "priority/max_time/deadline must be numeric"},
+                False,
+            )
         model_options = payload.get("model_options")
         if model_options is not None and not isinstance(model_options, dict):
             return 400, {"error": "model_options must be an object"}, False
@@ -411,6 +488,7 @@ class AsyncServiceHTTPServer:
                     kind=str(payload.get("kind", "costas")),
                     priority=priority,
                     max_time=max_time,
+                    deadline=deadline,
                     solver=payload.get("solver"),
                     model_options=model_options,
                     use_store=payload.get("use_store"),
@@ -418,7 +496,11 @@ class AsyncServiceHTTPServer:
                 )
             )
         except SchedulerSaturatedError as exc:
-            return 503, {"error": str(exc), "retry": True}, False
+            return self._reject(exc, 1.0)
+        except (CircuitOpenError, ServiceDegradedError) as exc:
+            return self._reject(exc, exc.retry_after)
+        except DeadlineExceededError as exc:
+            return 504, {"error": str(exc), "status": "deadline"}, False
         except ReproError as exc:
             return 400, {"error": str(exc)}, False
         if wait or service_request.done():
@@ -445,6 +527,16 @@ class AsyncServiceHTTPServer:
             return 409, {"request_id": request_id, "status": "cancelled"}, False
         except FutureTimeoutError:
             return 202, {"request_id": request_id, "status": "pending"}, False
+        except DeadlineExceededError as exc:
+            return (
+                504,
+                {
+                    "request_id": request_id,
+                    "status": "deadline",
+                    "error": str(exc),
+                },
+                False,
+            )
         except ReproError as exc:
             return 500, {"request_id": request_id, "error": str(exc)}, False
         return 200, {"status": "done", **response.as_dict()}, False
@@ -546,13 +638,20 @@ class AsyncServiceHTTPServer:
     @staticmethod
     def _batch_item_result(outcome: Any) -> Dict[str, Any]:
         """One slot of the batch response, mirroring /solve's shapes."""
-        if isinstance(outcome, SchedulerSaturatedError):
+        if isinstance(
+            outcome,
+            (SchedulerSaturatedError, CircuitOpenError, ServiceDegradedError),
+        ):
+            seconds = max(1, int(round(getattr(outcome, "retry_after", 1.0))))
             return {
                 "status": "error",
                 "code": 503,
                 "error": str(outcome),
                 "retry": True,
+                "retry_after": seconds,
             }
+        if isinstance(outcome, DeadlineExceededError):
+            return {"status": "error", "code": 504, "error": str(outcome)}
         if isinstance(outcome, ReproError):
             return {"status": "error", "code": 400, "error": str(outcome)}
         service_request: ServiceRequest = outcome
@@ -568,7 +667,9 @@ class AsyncServiceHTTPServer:
         if exc is not None:
             return {
                 "request_id": service_request.request_id,
-                "status": "failed",
+                "status": "deadline"
+                if isinstance(exc, DeadlineExceededError)
+                else "failed",
                 "error": str(exc),
             }
         return {"status": "done", **future.result().as_dict()}

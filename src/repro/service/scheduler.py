@@ -32,11 +32,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
+from repro.service.faults import DeadlineExceededError
 
 __all__ = ["Job", "RequestScheduler", "SchedulerSaturatedError", "Ticket"]
 
@@ -59,6 +61,11 @@ class Job:
     seqno: int
     state: str = QUEUED
     tickets: List["Ticket"] = field(default_factory=list)
+    #: Absolute wall-clock (``time.time()``) deadline shared by the job's
+    #: tickets, or ``None`` when any attached request is unbounded.  A job
+    #: still queued past its deadline is failed at pop time instead of being
+    #: handed to a worker it can no longer satisfy.
+    deadline_at: Optional[float] = None
 
     @property
     def width(self) -> int:
@@ -124,6 +131,7 @@ class RequestScheduler:
         self._completed = 0
         self._failed = 0
         self._cancelled_jobs = 0
+        self._expired = 0
 
     # ---------------------------------------------------------------- producer
     def submit(
@@ -132,25 +140,31 @@ class RequestScheduler:
         payload: Dict[str, Any],
         *,
         priority: int = 0,
+        deadline_at: Optional[float] = None,
     ) -> Ticket:
         """Admit a request; coalesce onto an in-flight job when one exists.
 
-        Raises :class:`SchedulerSaturatedError` when a *new* job would exceed
+        ``deadline_at`` is an absolute ``time.time()`` deadline; a job whose
+        every ticket carries one is abandoned (tickets failed with
+        :class:`~repro.service.faults.DeadlineExceededError`) if it is still
+        queued when the deadline passes.  Raises
+        :class:`SchedulerSaturatedError` when a *new* job would exceed
         ``max_depth``, and ``RuntimeError`` after :meth:`close`.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            return self._admit_locked(key, payload, priority)
+            return self._admit_locked(key, payload, priority, deadline_at)
 
     def submit_batch(
         self,
-        entries: List[Tuple[Tuple[Any, ...], Dict[str, Any], int]],
+        entries: Sequence[Tuple],
     ) -> List[Ticket | SchedulerSaturatedError]:
         """Admit many requests under **one** lock acquisition (one scheduler
         pass for a whole ``POST /solve-batch`` body).
 
-        ``entries`` is a list of ``(key, payload, priority)`` triples.  The
+        ``entries`` is a list of ``(key, payload, priority)`` triples (an
+        optional fourth element carries the absolute deadline).  The
         result list is aligned with the input: each slot holds either the
         admitted :class:`Ticket` or the :class:`SchedulerSaturatedError` that
         rejected that item.  Saturation is judged item by item in input
@@ -164,15 +178,23 @@ class RequestScheduler:
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            for key, payload, priority in entries:
+            for entry in entries:
+                key, payload, priority = entry[0], entry[1], entry[2]
+                deadline_at = entry[3] if len(entry) > 3 else None
                 try:
-                    results.append(self._admit_locked(key, payload, priority))
+                    results.append(
+                        self._admit_locked(key, payload, priority, deadline_at)
+                    )
                 except SchedulerSaturatedError as exc:
                     results.append(exc)
         return results
 
     def _admit_locked(
-        self, key: Tuple[Any, ...], payload: Dict[str, Any], priority: int
+        self,
+        key: Tuple[Any, ...],
+        payload: Dict[str, Any],
+        priority: int,
+        deadline_at: Optional[float] = None,
     ) -> Ticket:
         """One admission: coalesce, reject on saturation, or enqueue.
 
@@ -185,6 +207,14 @@ class RequestScheduler:
             ticket = Ticket(job)
             job.tickets.append(ticket)
             self._coalesced += 1
+            # The job's deadline is the *loosest* of its tickets': one
+            # unbounded join makes the job unbounded, otherwise the latest
+            # deadline wins — an earlier joiner's patience never cuts short
+            # a later joiner's budget.
+            if deadline_at is None:
+                job.deadline_at = None
+            elif job.deadline_at is not None:
+                job.deadline_at = max(job.deadline_at, deadline_at)
             if job.state == QUEUED and priority > job.priority:
                 # Bump: re-push with the stronger priority; the old heap
                 # entry becomes stale and is skipped on pop.
@@ -198,7 +228,13 @@ class RequestScheduler:
                 f"request queue is full ({self._queued_count} jobs queued, "
                 f"max_depth={self.max_depth}); retry later"
             )
-        job = Job(key=key, payload=dict(payload), priority=priority, seqno=next(self._seq))
+        job = Job(
+            key=key,
+            payload=dict(payload),
+            priority=priority,
+            seqno=next(self._seq),
+            deadline_at=deadline_at,
+        )
         ticket = Ticket(job)
         job.tickets.append(ticket)
         self._inflight[key] = job
@@ -212,19 +248,52 @@ class RequestScheduler:
         """Pop the highest-priority queued job, blocking up to *timeout*.
 
         Returns ``None`` on timeout or once the scheduler is closed and
-        drained.  The returned job is atomically marked RUNNING.
+        drained.  The returned job is atomically marked RUNNING.  Jobs whose
+        deadline already passed while queued are failed with
+        :class:`~repro.service.faults.DeadlineExceededError` instead of being
+        returned — their ticket futures are resolved *outside* the lock so
+        user callbacks can never run under it.
         """
-        with self._lock:
-            while True:
-                job = self._pop_locked()
-                if job is not None:
-                    job.state = RUNNING
-                    self._queued_count -= 1
-                    return job
-                if self._closed:
-                    return None
-                if not self._available.wait(timeout=timeout):
-                    return None
+        while True:
+            expired: List[Tuple[Job, List[Ticket]]] = []
+            job: Optional[Job] = None
+            give_up = False
+            with self._lock:
+                while True:
+                    candidate = self._pop_locked()
+                    if candidate is not None:
+                        self._queued_count -= 1
+                        if (
+                            candidate.deadline_at is not None
+                            and time.time() >= candidate.deadline_at
+                        ):
+                            self._expired += 1
+                            expired.append(
+                                (candidate, self._settle_locked(candidate, DONE))
+                            )
+                            continue
+                        candidate.state = RUNNING
+                        job = candidate
+                        break
+                    if expired:
+                        # Settle the expired tickets before deciding whether
+                        # to wait again.
+                        break
+                    if self._closed:
+                        give_up = True
+                        break
+                    if not self._available.wait(timeout=timeout):
+                        give_up = True
+                        break
+            for stale, tickets in expired:
+                exc = DeadlineExceededError(
+                    f"deadline expired before job {stale.key!r} could start"
+                )
+                for ticket in tickets:
+                    if not ticket.future.done():
+                        ticket.future.set_exception(exc)
+            if job is not None or give_up:
+                return job
 
     def _pop_locked(self) -> Optional[Job]:
         while self._heap:
@@ -325,6 +394,7 @@ class RequestScheduler:
                 "completed": self._completed,
                 "failed": self._failed,
                 "cancelled_jobs": self._cancelled_jobs,
+                "expired": self._expired,
                 "queued": self._queued_count,
                 "inflight": len(self._inflight),
                 "max_depth": self.max_depth if self.max_depth is not None else -1,

@@ -38,14 +38,15 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ReproError, SolverError
 from repro.problems import ProblemFamily, get_family
+from repro.service.faults import FaultInjector, RetryPolicy
 
-__all__ = ["SolutionStore", "StoreStats", "StoreError"]
+__all__ = ["SolutionStore", "StoreStats", "StoreError", "StoreUnavailableError"]
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS solutions (
@@ -64,6 +65,30 @@ CREATE INDEX IF NOT EXISTS idx_solutions_kind_n ON solutions (problem_kind, n);
 
 class StoreError(ReproError, ValueError):
     """An invalid solution or key was handed to the solution store."""
+
+
+class StoreUnavailableError(StoreError):
+    """The store is quarantined or persistently failing; callers must degrade.
+
+    Raised only from the *write* path (reads degrade silently to a miss) so
+    the service facade can keep serving a solve result whose persistence
+    failed while flagging the store as sick in ``/healthz``.
+    """
+
+
+#: sqlite3.OperationalError messages that indicate a transient condition
+#: worth retrying (WAL writer contention, slow disk) rather than corruption.
+_TRANSIENT_MARKERS = (
+    "database is locked",
+    "database table is locked",
+    "disk i/o error",
+)
+
+
+def _is_transient(exc: BaseException) -> bool:
+    return isinstance(exc, sqlite3.OperationalError) and any(
+        marker in str(exc).lower() for marker in _TRANSIENT_MARKERS
+    )
 
 
 @dataclass
@@ -99,13 +124,42 @@ class SolutionStore:
         When ``True`` (default) solutions are re-checked with their family's
         validator before insertion, so a corrupted worker can never poison
         the store.
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector` driving the
+        ``store.read.error`` / ``store.write.locked`` injection points.
+    retry:
+        Backoff policy for transient sqlite errors (locked database, disk
+        I/O); defaults to three attempts with short exponential delays.
+
+    Failure policy
+    --------------
+    Transient errors (``database is locked``, ``disk I/O error``) are retried
+    with exponential backoff; once retries are exhausted, reads degrade to a
+    miss and writes raise :class:`StoreUnavailableError`.  Any other
+    ``sqlite3.DatabaseError`` — a corrupted or non-database file, at open
+    time or mid-run — **quarantines** the store: every later read is an
+    immediate miss, every write an immediate no-op, and :meth:`health`
+    reports the reason so the service can advertise degraded mode instead of
+    crashing.
     """
 
-    def __init__(self, path: str | os.PathLike = ":memory:", *, validate: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike = ":memory:",
+        *,
+        validate: bool = True,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.path = str(path)
         self.validate = validate
         self.stats = StoreStats()
         self._stats_lock = threading.Lock()
+        self._faults = faults
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._quarantined: Optional[str] = None
+        self._transient_retries = 0
+        self._transient_failures = 0
         self._memory_conn: Optional[sqlite3.Connection] = None
         # A ":memory:" database lives on a single shared connection, which
         # sqlite3 only tolerates across threads when access is serialised.
@@ -121,8 +175,14 @@ class SolutionStore:
             self._memory_conn = self._connect()
         else:
             # Create the schema eagerly so concurrent openers find it, and
-            # seed the pool with the connection.
-            self._pool.append(self._connect())
+            # seed the pool with the connection.  A file that is not a
+            # database quarantines the store instead of killing the service.
+            try:
+                self._pool.append(self._connect())
+            except sqlite3.DatabaseError as exc:
+                if _is_transient(exc):
+                    raise
+                self._quarantine(f"open failed: {exc}")
 
     # ------------------------------------------------------------ connections
     def _connect(self) -> sqlite3.Connection:
@@ -149,12 +209,25 @@ class SolutionStore:
             conn = self._connect()
         try:
             yield conn
-        finally:
-            with self._pool_lock:
-                if self._closed:
+        except BaseException:
+            # Never return a connection with an open transaction to the
+            # pool; a connection too broken to roll back is discarded.
+            try:
+                conn.rollback()
+            except sqlite3.Error:
+                try:
                     conn.close()
-                else:
-                    self._pool.append(conn)
+                except sqlite3.Error:
+                    pass
+                conn = None
+            raise
+        finally:
+            if conn is not None:
+                with self._pool_lock:
+                    if self._closed:
+                        conn.close()
+                    else:
+                        self._pool.append(conn)
 
     def close(self) -> None:
         """Close this instance's connections (the file remains valid)."""
@@ -173,6 +246,83 @@ class SolutionStore:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+    # --------------------------------------------------------- failure policy
+    def _quarantine(self, reason: str) -> None:
+        with self._stats_lock:
+            if self._quarantined is None:
+                self._quarantined = reason
+
+    @property
+    def quarantined(self) -> Optional[str]:
+        """Quarantine reason, or ``None`` while the store is healthy."""
+        with self._stats_lock:
+            return self._quarantined
+
+    def _retry_sleep(self, delay: float) -> None:
+        with self._stats_lock:
+            self._transient_retries += 1
+        time.sleep(delay)
+
+    def _guarded(
+        self,
+        point: str,
+        fn: Callable[[], Any],
+        default: Any,
+        *,
+        raise_on_failure: bool = False,
+    ) -> Any:
+        """Run one DB operation under the store's failure policy.
+
+        *point* is the fault-injection point exercised before each attempt;
+        *default* is what a degraded (quarantined or retries-exhausted) call
+        returns, unless ``raise_on_failure`` upgrades a fresh failure to
+        :class:`StoreUnavailableError` (the write path).
+        """
+        if self.quarantined is not None:
+            return default
+
+        def attempt() -> Any:
+            if self._faults is not None and self._faults.fires(point):
+                if point == "store.read.error":
+                    raise sqlite3.OperationalError("disk I/O error [injected]")
+                raise sqlite3.OperationalError("database is locked [injected]")
+            return fn()
+
+        try:
+            return self._retry.run(
+                attempt,
+                retry_on=(sqlite3.OperationalError,),
+                should_retry=_is_transient,
+                sleep=self._retry_sleep,
+            )
+        except sqlite3.DatabaseError as exc:
+            if _is_transient(exc):
+                with self._stats_lock:
+                    self._transient_failures += 1
+            else:
+                # Corruption (malformed image, not-a-database) is permanent:
+                # quarantine so the service degrades instead of crashing.
+                self._quarantine(str(exc))
+            if raise_on_failure:
+                raise StoreUnavailableError(
+                    f"solution store unavailable: {exc}"
+                ) from exc
+            return default
+
+    def health(self) -> Dict[str, Any]:
+        """Readiness report for ``/healthz`` aggregation."""
+        with self._stats_lock:
+            quarantined = self._quarantined
+            retries = self._transient_retries
+            failures = self._transient_failures
+        return {
+            "status": "quarantined" if quarantined else "ok",
+            "reason": quarantined,
+            "transient_retries": retries,
+            "transient_failures": failures,
+            "path": self.path,
+        }
 
     # ------------------------------------------------------------- operations
     @staticmethod
@@ -205,22 +355,30 @@ class SolutionStore:
                 f"of size {arr.size}"
             )
         canonical = family.canonical_form(arr)
-        with self._borrow() as conn:
-            cursor = conn.execute(
-                "INSERT OR IGNORE INTO solutions "
-                "(problem_kind, n, canonical, solution, source, created_at, hits) "
-                "VALUES (?, ?, ?, ?, ?, ?, 0)",
-                (
-                    family.name,
-                    int(arr.size),
-                    _encode(canonical),
-                    _encode(arr),
-                    source,
-                    time.time(),
-                ),
-            )
-            conn.commit()
-        inserted = cursor.rowcount == 1
+
+        def write() -> bool:
+            with self._borrow() as conn:
+                cursor = conn.execute(
+                    "INSERT OR IGNORE INTO solutions "
+                    "(problem_kind, n, canonical, solution, source, created_at, hits) "
+                    "VALUES (?, ?, ?, ?, ?, ?, 0)",
+                    (
+                        family.name,
+                        int(arr.size),
+                        _encode(canonical),
+                        _encode(arr),
+                        source,
+                        time.time(),
+                    ),
+                )
+                conn.commit()
+            return cursor.rowcount == 1
+
+        inserted = self._guarded(
+            "store.write.locked", write, None, raise_on_failure=True
+        )
+        if inserted is None:
+            return False  # quarantined: persistence is disabled, not fatal
         with self._stats_lock:
             if inserted:
                 self.stats.inserts += 1
@@ -246,19 +404,26 @@ class SolutionStore:
         valid for the family are ever applied.
         """
         family = self._family(problem_kind)
-        with self._borrow() as conn:
-            row = conn.execute(
-                "SELECT canonical, solution FROM solutions "
-                "WHERE problem_kind = ? AND n = ? ORDER BY hits DESC, canonical LIMIT 1",
-                (family.name, int(n)),
-            ).fetchone()
-            if row is not None and count_hit:
-                conn.execute(
-                    "UPDATE solutions SET hits = hits + 1 "
-                    "WHERE problem_kind = ? AND n = ? AND canonical = ?",
-                    (family.name, int(n), row[0]),
-                )
-                conn.commit()
+
+        def read() -> Optional[tuple]:
+            with self._borrow() as conn:
+                row = conn.execute(
+                    "SELECT canonical, solution FROM solutions "
+                    "WHERE problem_kind = ? AND n = ? ORDER BY hits DESC, canonical LIMIT 1",
+                    (family.name, int(n)),
+                ).fetchone()
+                if row is not None and count_hit:
+                    conn.execute(
+                        "UPDATE solutions SET hits = hits + 1 "
+                        "WHERE problem_kind = ? AND n = ? AND canonical = ?",
+                        (family.name, int(n), row[0]),
+                    )
+                    conn.commit()
+            return row
+
+        # A degraded read is a miss: the caller falls through to the
+        # construction/search tiers instead of seeing an exception.
+        row = self._guarded("store.read.error", read, None)
         with self._stats_lock:
             if row is None:
                 self.stats.misses += 1
@@ -278,13 +443,16 @@ class SolutionStore:
         family = self._family(problem_kind)
         arr = np.asarray(perm, dtype=np.int64)
         canonical = _encode(family.canonical_form(arr))
-        with self._borrow() as conn:
-            row = conn.execute(
-                "SELECT 1 FROM solutions "
-                "WHERE problem_kind = ? AND n = ? AND canonical = ?",
-                (family.name, int(arr.size), canonical),
-            ).fetchone()
-        return row is not None
+
+        def read() -> Optional[tuple]:
+            with self._borrow() as conn:
+                return conn.execute(
+                    "SELECT 1 FROM solutions "
+                    "WHERE problem_kind = ? AND n = ? AND canonical = ?",
+                    (family.name, int(arr.size), canonical),
+                ).fetchone()
+
+        return self._guarded("store.read.error", read, None) is not None
 
     def count(self, problem_kind: Optional[str] = None, n: Optional[int] = None) -> int:
         """Number of stored symmetry classes, optionally filtered."""
@@ -298,31 +466,47 @@ class SolutionStore:
             params.append(int(n))
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
-        with self._borrow() as conn:
-            (count,) = conn.execute(query, params).fetchone()
-        return int(count)
+
+        def read() -> int:
+            with self._borrow() as conn:
+                (count,) = conn.execute(query, params).fetchone()
+            return int(count)
+
+        return int(self._guarded("store.read.error", read, 0))
 
     def orders(self, problem_kind: str) -> List[int]:
         """Distinct orders stored for *problem_kind*, ascending."""
-        with self._borrow() as conn:
-            rows = conn.execute(
-                "SELECT DISTINCT n FROM solutions WHERE problem_kind = ? ORDER BY n",
-                (self._family(problem_kind).name,),
-            ).fetchall()
-        return [int(r[0]) for r in rows]
+        family = self._family(problem_kind)
+
+        def read() -> List[tuple]:
+            with self._borrow() as conn:
+                return conn.execute(
+                    "SELECT DISTINCT n FROM solutions WHERE problem_kind = ? ORDER BY n",
+                    (family.name,),
+                ).fetchall()
+
+        return [int(r[0]) for r in self._guarded("store.read.error", read, [])]
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-friendly stats: instance counters plus persistent totals."""
-        with self._borrow() as conn:
-            (rows, total_hits) = conn.execute(
-                "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM solutions"
-            ).fetchone()
-            by_kind = conn.execute(
-                "SELECT problem_kind, COUNT(*), COALESCE(SUM(hits), 0) "
-                "FROM solutions GROUP BY problem_kind"
-            ).fetchall()
+
+        def read() -> tuple:
+            with self._borrow() as conn:
+                (rows, total_hits) = conn.execute(
+                    "SELECT COUNT(*), COALESCE(SUM(hits), 0) FROM solutions"
+                ).fetchone()
+                by_kind = conn.execute(
+                    "SELECT problem_kind, COUNT(*), COALESCE(SUM(hits), 0) "
+                    "FROM solutions GROUP BY problem_kind"
+                ).fetchall()
+            return rows, total_hits, by_kind
+
+        rows, total_hits, by_kind = self._guarded(
+            "store.read.error", read, (0, 0, [])
+        )
         with self._stats_lock:
             counters = self.stats.as_dict()
+            quarantined = self._quarantined
         return {
             "path": self.path,
             "stored_classes": int(rows),
@@ -331,5 +515,6 @@ class SolutionStore:
                 str(kind): {"stored_classes": int(n), "persistent_hits": int(h)}
                 for kind, n, h in by_kind
             },
+            "quarantined": quarantined,
             **counters,
         }

@@ -37,6 +37,7 @@ from repro.core.params import ASParameters
 from repro.core.result import SolveResult
 from repro.exceptions import ParallelExecutionError
 from repro.parallel.liveness import DeadProcessDetector, poll_interval
+from repro.service.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.solvers import run_spec
 
 __all__ = ["WorkerPool", "PoolJobHandle"]
@@ -117,19 +118,35 @@ def _pool_worker(
     result_queue,
     cancel_event,
     shutdown_event,
+    fault_scope: str = "",
 ) -> None:
     """Body of one long-lived worker process.
 
     Loops forever: pull ``(job_id, walk_index, spec)``, announce the claim,
     solve, report.  ``spec`` is a plain dict (picklable under ``spawn``):
     ``{"kind", "order", "solver": spec-dict | None, "params": dict | None,
-    "seed", "max_time", "model_options"}``.  ``kind`` selects any family of
-    the :mod:`repro.problems` registry; ``solver`` selects any strategy of
-    the :mod:`repro.solvers` registry (``None`` = Adaptive Search);
-    ``params`` is the legacy engine-parameter override honoured by adaptive
-    walks only — solver-specific parameters travel inside ``solver``.
+    "seed", "max_time", "deadline_at", "model_options"}``.  ``kind`` selects
+    any family of the :mod:`repro.problems` registry; ``solver`` selects any
+    strategy of the :mod:`repro.solvers` registry (``None`` = Adaptive
+    Search); ``params`` is the legacy engine-parameter override honoured by
+    adaptive walks only — solver-specific parameters travel inside
+    ``solver``.  ``deadline_at`` is an absolute ``time.time()`` deadline that
+    caps the walk's time budget (an already-expired deadline is reported as
+    an error without solving).
+
+    Chaos: the :data:`~repro.service.faults.FAULTS_ENV_VAR` plan inherited
+    from the parent drives the ``worker.crash`` / ``worker.hang`` /
+    ``worker.slow`` injection points, scoped by *fault_scope* (worker slot +
+    incarnation) so respawned workers draw fresh — deterministic but not
+    identical — fault streams.
     """
     from repro.problems import make_problem
+
+    try:
+        plan = FaultPlan.from_env()
+    except ValueError:  # pragma: no cover - malformed env is parent's bug
+        plan = None
+    injector = FaultInjector(plan, scope=fault_scope)
 
     while not shutdown_event.is_set():
         try:
@@ -141,7 +158,43 @@ def _pool_worker(
         job_id, walk_index, spec = item
         cancel_event.clear()
         result_queue.put(("started", worker_id, job_id, walk_index, None))
+        if injector.fires("worker.crash"):
+            # Simulate a hard death (OOM kill, segfault) *after* the claim
+            # was observed: flush the queue's feeder thread so the "started"
+            # announcement survives, then exit with no cleanup and no goodbye.
+            # The pool's liveness detector has to notice on its own and
+            # requeue exactly this walk.  (Exiting before the claim flushes
+            # would model a crash before claiming — a different case, where
+            # the walk is still in the job queue for a sibling to pick up.)
+            result_queue.close()
+            result_queue.join_thread()
+            os._exit(17)
+        if injector.fires("worker.hang"):
+            # A true hang ignores cancel events; only the pool's hung-walk
+            # watchdog (terminate) is expected to get us out of this.
+            time.sleep(injector.plan.hang_seconds)
+        if injector.fires("worker.slow"):
+            time.sleep(injector.plan.slow_seconds)
         try:
+            max_time = spec.get("max_time")
+            deadline_at = spec.get("deadline_at")
+            if deadline_at is not None:
+                remaining = float(deadline_at) - time.time()
+                if remaining <= 0.0:
+                    result_queue.put(
+                        (
+                            "error",
+                            worker_id,
+                            job_id,
+                            walk_index,
+                            "DeadlineExceededError: deadline expired before "
+                            "the walk could start",
+                        )
+                    )
+                    continue
+                max_time = (
+                    remaining if max_time is None else min(float(max_time), remaining)
+                )
             problem = make_problem(
                 spec["kind"], spec["order"], **spec.get("model_options", {})
             )
@@ -171,7 +224,7 @@ def _pool_worker(
                 seed=spec["seed"],
                 problem_kind=spec["kind"],
                 stop_check=cancel_event.is_set,
-                max_time=spec.get("max_time"),
+                max_time=max_time,
                 callbacks=reporter,
                 as_params=as_params,
             )
@@ -197,6 +250,8 @@ class PoolJobHandle:
     results: List[SolveResult] = field(default_factory=list)
     #: walk_index -> worker slot currently running it (claimed walks only).
     running: Dict[int, int] = field(default_factory=dict)
+    #: walk_index -> ``time.time()`` of its claim (hung-walk watchdog input).
+    claimed_at: Dict[int, float] = field(default_factory=dict)
     #: walk_index -> retry count for walks whose worker died.
     retries: Dict[int, int] = field(default_factory=dict)
     outstanding: int = 0
@@ -228,6 +283,21 @@ class WorkerPool:
     seed_root:
         Root for per-walk seed spawning; walks of distinct jobs get
         independent seeds derived from a monotonically increasing stream.
+    max_walk_retries:
+        How many times one walk is requeued after its worker died (or a stale
+        cancel aborted it) before the job is failed.
+    retry:
+        Backoff policy spacing those requeues (exponential with jitter), so a
+        crash-looping instance does not hammer the queue.
+    liveness_grace:
+        Seconds a worker may be observed dead before its walks are requeued
+        (the queue feeder may still be flushing its last result).
+    hang_grace:
+        Seconds past a walk's time budget (``max_time`` / ``deadline_at``)
+        before the hung-walk watchdog terminates its worker.
+    faults:
+        Optional :class:`~repro.service.faults.FaultPlan` published to
+        ``REPRO_FAULTS`` at :meth:`start` so worker children inherit it.
     """
 
     def __init__(
@@ -236,10 +306,24 @@ class WorkerPool:
         *,
         mp_context: Optional[str] = None,
         seed_root: Optional[int] = None,
+        max_walk_retries: int = _MAX_WALK_RETRIES,
+        retry: Optional[RetryPolicy] = None,
+        liveness_grace: float = 5.0,
+        hang_grace: float = 5.0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         if self.n_workers < 1:
             raise ParallelExecutionError(f"n_workers must be >= 1, got {self.n_workers}")
+        if max_walk_retries < 0:
+            raise ParallelExecutionError(
+                f"max_walk_retries must be >= 0, got {max_walk_retries}"
+            )
+        self.max_walk_retries = max_walk_retries
+        self.liveness_grace = liveness_grace
+        self.hang_grace = hang_grace
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._fault_plan = faults
         if mp_context is None:
             mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         self._ctx = mp.get_context(mp_context)
@@ -258,6 +342,10 @@ class WorkerPool:
         self._jobs_done = 0
         self._walks_run = 0
         self._workers_respawned = 0
+        self._walks_requeued = 0
+        self._hung_terminated = 0
+        self._incarnations = [0] * self.n_workers
+        self._timers: List[threading.Timer] = []
 
     # ----------------------------------------------------------------- startup
     def start(self) -> None:
@@ -266,6 +354,11 @@ class WorkerPool:
             if self._started:
                 return
             self._started = True
+            if self._fault_plan is not None:
+                # Children inherit the parent environment under both fork and
+                # spawn, so publishing before the first Process.start() is
+                # enough to arm the workers' injectors.
+                self._fault_plan.install_env()
             for worker_id in range(self.n_workers):
                 self._procs.append(self._spawn(worker_id))
             self._dispatcher = threading.Thread(
@@ -274,6 +367,11 @@ class WorkerPool:
             self._dispatcher.start()
 
     def _spawn(self, worker_id: int) -> mp.process.BaseProcess:
+        # Incarnation counters keep respawned workers on fresh deterministic
+        # fault streams: without them a worker whose first injected draw is
+        # "crash" would crash-loop forever under the same seed.
+        self._incarnations[worker_id] += 1
+        scope = f"w{worker_id}.{self._incarnations[worker_id]}"
         proc = self._ctx.Process(
             target=_pool_worker,
             args=(
@@ -282,6 +380,7 @@ class WorkerPool:
                 self._result_queue,
                 self._cancel_events[worker_id],
                 self._shutdown_event,
+                scope,
             ),
             daemon=True,
             name=f"repro-pool-worker-{worker_id}",
@@ -372,8 +471,8 @@ class WorkerPool:
     # ---------------------------------------------------------------- collector
     def _collect_loop(self) -> None:
         """Collector thread: route worker messages, watch liveness, respawn."""
-        detector = DeadProcessDetector(grace=5.0)
-        poll = poll_interval(5.0)
+        detector = DeadProcessDetector(grace=self.liveness_grace)
+        poll = poll_interval(self.liveness_grace)
         last_liveness = time.perf_counter()
         while True:
             if self._shutdown_event.is_set() and not self._jobs:
@@ -428,6 +527,7 @@ class WorkerPool:
     def _on_started(self, handle: PoolJobHandle, walk_index: int, worker_id: int) -> None:
         with self._lock:
             handle.running[walk_index] = worker_id
+            handle.claimed_at[walk_index] = time.time()
             if handle.cancelled:
                 # Cancellation raced the claim: abort this walk now.
                 self._cancel_events[worker_id].set()
@@ -439,19 +539,17 @@ class WorkerPool:
         settle = False
         with self._lock:
             handle.running.pop(walk_index, None)
+            handle.claimed_at.pop(walk_index, None)
             stale_stop = (
                 result.stop_reason == "external_stop"
                 and not result.solved
                 and not handle.cancelled
                 and not handle.solved
             )
-            if stale_stop and handle.retries.get(walk_index, 0) < _MAX_WALK_RETRIES:
+            if stale_stop and handle.retries.get(walk_index, 0) < self.max_walk_retries:
                 # A stale cancel event (set for this slot's previous job just
                 # as it finished) aborted an innocent walk: requeue it.
-                handle.retries[walk_index] = handle.retries.get(walk_index, 0) + 1
-                self._job_queue.put(
-                    (handle.job_id, walk_index, self._walk_spec(handle, walk_index))
-                )
+                self._requeue_locked(handle, walk_index)
                 return
             handle.results.append(result)
             handle.outstanding -= 1
@@ -471,6 +569,7 @@ class WorkerPool:
         settle = False
         with self._lock:
             handle.running.pop(walk_index, None)
+            handle.claimed_at.pop(walk_index, None)
             handle.failure = payload
             handle.outstanding -= 1
             settle = handle.outstanding <= 0
@@ -488,12 +587,85 @@ class WorkerPool:
         self._jobs_done += 1
         return True
 
+    def _requeue_locked(self, handle: PoolJobHandle, walk_index: int) -> None:
+        """Requeue one walk with exponential backoff (caller holds the lock).
+
+        The backoff keeps a crash-looping instance from monopolising the job
+        queue; the delayed put is skipped (and the walk written off) when the
+        job settled, was cancelled, or the pool started closing meanwhile.
+        """
+        retries = handle.retries.get(walk_index, 0)
+        handle.retries[walk_index] = retries + 1
+        self._walks_requeued += 1
+        walk_spec = self._walk_spec(handle, walk_index)
+        delay = self._retry.delay(retries)
+
+        def put() -> None:
+            settle = False
+            with self._lock:
+                if handle.settled:
+                    return
+                if handle.cancelled or self._closing:
+                    handle.outstanding -= 1
+                    settle = handle.outstanding <= 0 and self._settle_locked(handle)
+                else:
+                    self._job_queue.put((handle.job_id, walk_index, walk_spec))
+            if settle:
+                handle.on_done(handle)
+
+        if delay <= 0.0:
+            self._job_queue.put((handle.job_id, walk_index, walk_spec))
+            return
+        timer = threading.Timer(delay, put)
+        timer.daemon = True
+        self._timers = [t for t in self._timers if t.is_alive()]
+        self._timers.append(timer)
+        timer.start()
+
+    def _terminate_hung_walks(self) -> int:
+        """Terminate workers stuck far past their walk's time budget.
+
+        A healthy walk stops itself at ``max_time`` (engine clock) or is
+        stopped by cancellation; one that blows ``hang_grace`` past its
+        budget — or past its request deadline — is wedged (injected hang, a
+        stuck native loop) and only ``terminate()`` gets the slot back.  The
+        resulting dead process flows through the ordinary liveness →
+        respawn → requeue path.
+        """
+        now = time.time()
+        victims: List[mp.process.BaseProcess] = []
+        with self._lock:
+            victim_ids = set()
+            for handle in self._jobs.values():
+                budget = handle.spec.get("max_time")
+                deadline_at = handle.spec.get("deadline_at")
+                for walk_index, worker_id in handle.running.items():
+                    claimed = handle.claimed_at.get(walk_index)
+                    if claimed is None:
+                        continue
+                    limits = []
+                    if budget:
+                        limits.append(claimed + float(budget) + self.hang_grace)
+                    if deadline_at is not None:
+                        limits.append(float(deadline_at) + self.hang_grace)
+                    if limits and now > min(limits):
+                        victim_ids.add(worker_id)
+            for worker_id in victim_ids:
+                proc = self._procs[worker_id]
+                if proc.is_alive():
+                    victims.append(proc)
+            self._hung_terminated += len(victims)
+        for proc in victims:
+            proc.terminate()
+        return len(victims)
+
     def _check_liveness(self, detector: DeadProcessDetector) -> None:
         """Respawn dead workers and requeue (or fail) the walks they carried."""
-        with self._lock:
-            alive_map = {i: proc for i, proc in enumerate(self._procs)}
         if self._shutdown_event.is_set():
             return
+        self._terminate_hung_walks()
+        with self._lock:
+            alive_map = {i: proc for i, proc in enumerate(self._procs)}
         dead = detector.poll(alive_map)
         if not dead:
             return
@@ -507,14 +679,12 @@ class WorkerPool:
                         if running_worker != worker_id:
                             continue
                         handle.running.pop(walk_index, None)
+                        handle.claimed_at.pop(walk_index, None)
                         retries = handle.retries.get(walk_index, 0)
                         if handle.cancelled:
                             handle.outstanding -= 1
-                        elif retries < _MAX_WALK_RETRIES:
-                            handle.retries[walk_index] = retries + 1
-                            self._job_queue.put(
-                                (handle.job_id, walk_index, self._walk_spec(handle, walk_index))
-                            )
+                        elif retries < self.max_walk_retries:
+                            self._requeue_locked(handle, walk_index)
                         else:
                             handle.failure = (
                                 f"worker {worker_id} died repeatedly on walk {walk_index}"
@@ -537,11 +707,16 @@ class WorkerPool:
             if not self._started:
                 return
             self._closing = True
+            timers, self._timers = self._timers, []
             if not drain:
                 for handle in list(self._jobs.values()):
                     handle.cancelled = True
                 for event in self._cancel_events:
                     event.set()
+        for timer in timers:
+            # Jobs whose delayed requeue never lands are failed as orphans
+            # below; cancelling keeps no timer thread alive past shutdown.
+            timer.cancel()
         deadline = time.perf_counter() + timeout
         if drain:
             while time.perf_counter() < deadline:
@@ -584,4 +759,6 @@ class WorkerPool:
                 "jobs_done": self._jobs_done,
                 "walks_run": self._walks_run,
                 "workers_respawned": self._workers_respawned,
+                "walks_requeued": self._walks_requeued,
+                "hung_walks_terminated": self._hung_terminated,
             }

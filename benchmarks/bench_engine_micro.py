@@ -5,6 +5,12 @@ per-iteration cost of the Costas model's vectorised candidate evaluation, the
 full cost function, the dedicated reset, and a complete small solve.  They
 give the repository a regression guard on raw engine speed, which everything
 else (pool collection, tables, examples) depends on.
+
+Run directly with ``--smoke`` for a pytest-free CI sanity pass that times one
+round of every hot path — including a compiled-walk population solve — and
+fails on any crash::
+
+    PYTHONPATH=src python benchmarks/bench_engine_micro.py --smoke
 """
 
 from __future__ import annotations
@@ -53,3 +59,72 @@ def test_solve_costas_order_10(benchmark):
         return result
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# --------------------------------------------------------------------- smoke
+def _smoke() -> int:
+    """One timed round of each hot path, no pytest-benchmark machinery."""
+    import time
+
+    from repro.core import _ckernels
+
+    prob = CostasProblem(ORDER)
+    prob.set_configuration(np.random.default_rng(0).permutation(ORDER))
+    rng = np.random.default_rng(1)
+    checks = [
+        ("swap_deltas", lambda: prob.swap_deltas(ORDER // 2)),
+        ("variable_errors", lambda: prob.variable_errors()),
+        ("full_cost_evaluation", lambda: prob.set_configuration(prob.configuration())),
+        ("dedicated_reset", lambda: prob.custom_reset(rng)),
+        (
+            "solve_costas_order_10",
+            lambda: AdaptiveSearch().solve(
+                CostasProblem(10), seed=5, params=ASParameters.for_costas(10)
+            ),
+        ),
+    ]
+    if _ckernels.load() is not None:
+        from repro.core.cwalk import CompiledAdaptiveSearch
+
+        compiled = CompiledAdaptiveSearch(
+            ASParameters.for_costas(12, max_iterations=50_000)
+        )
+        checks.append(
+            ("compiled_walk_solve", lambda: compiled.solve(CostasProblem(12), seed=5))
+        )
+        checks.append(
+            (
+                "compiled_walk_population_4",
+                lambda: compiled.solve_population(
+                    CostasProblem(12), seed=5, population=4
+                ),
+            )
+        )
+    else:
+        print("compiled walk checks skipped (C kernels unavailable)")
+    for name, check in checks:
+        start = time.perf_counter()
+        check()
+        elapsed = time.perf_counter() - start
+        print(f"{name:>26s} {elapsed * 1e3:10.2f} ms")
+    print(f"kernel mode: {_ckernels.mode()}")
+    return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run one timed round of each hot path and exit (CI sanity pass)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke()
+    parser.error("this module is a pytest-benchmark suite; use --smoke to run directly")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -147,7 +147,19 @@ def main(argv=None) -> int:
         seeds = args.seeds
 
     report = run(orders, iterations, seeds)
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    out_path = Path(args.out)
+    if out_path.exists():
+        # Preserve sections written by other harnesses (e.g. "compiled_walk"
+        # from bench_compiled_walk.py) instead of clobbering the whole file.
+        try:
+            existing = json.loads(out_path.read_text())
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict):
+            for key, value in existing.items():
+                if key not in report:
+                    report[key] = value
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"{'n':>4s} {'reference it/s':>16s} {'incremental it/s':>18s} {'speedup':>9s}")
     failed = False

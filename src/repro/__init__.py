@@ -98,6 +98,7 @@ def parallel_solve_costas(
     solver=None,
     seed_root: Optional[int] = None,
     max_time: Optional[float] = None,
+    population: int = 1,
 ):
     """Solve the CAP with the paper's independent multi-walk scheme on this machine.
 
@@ -105,6 +106,8 @@ def parallel_solve_costas(
     :class:`repro.parallel.multiwalk.MultiWalkResult`.  ``solver`` selects the
     strategy (or a heterogeneous portfolio such as ``"adaptive+tabu"``) from
     the :mod:`repro.solvers` registry; the default is pure Adaptive Search.
+    ``population`` additionally batches that many vectorised compiled-engine
+    walks inside each worker process (for strategies that support it).
     """
     from repro.experiments.base import costas_factory
     from repro.parallel.multiwalk import MultiWalkSolver
@@ -116,6 +119,7 @@ def parallel_solve_costas(
         solver=solver,
         n_workers=n_workers,
         seed_root=seed_root,
+        population=population,
     )
     return multiwalk.solve(max_time=max_time)
 

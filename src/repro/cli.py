@@ -86,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument(
         "--max-time", type=float, default=None, help="wall-clock limit (s)"
     )
+    p_solve.add_argument(
+        "--population",
+        type=int,
+        default=1,
+        help=(
+            "vectorised walks in one compiled-kernel batch (compiled walk "
+            "engine; first solution wins); default: 1"
+        ),
+    )
 
     p_par = sub.add_parser(
         "parallel", help="solve one instance with multi-walk processes"
@@ -103,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver",
         default=None,
         help="solver or portfolio for the walks (e.g. tabu, adaptive+tabu, mixed)",
+    )
+    p_par.add_argument(
+        "--population",
+        type=int,
+        default=1,
+        help=(
+            "vectorised walks per worker process (compiled walk engine), "
+            "racing workers x population walks on workers cores; default: 1"
+        ),
     )
 
     p_cons = sub.add_parser("construct", help="build a Costas array algebraically")
@@ -167,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--workers", type=int, default=None, help="worker process count")
     p_serve.add_argument("--walks", type=int, default=1, help="independent walks per search job")
+    p_serve.add_argument(
+        "--population",
+        type=int,
+        default=1,
+        help=(
+            "vectorised walks per worker slot (compiled walk engine); each "
+            "search walk batches this many kernel walks and reports the best"
+        ),
+    )
     p_serve.add_argument(
         "--queue-depth", type=int, default=256, help="max queued jobs before 503 backpressure"
     )
@@ -291,6 +318,7 @@ def _solve_family(args: argparse.Namespace, family) -> int:
             seed=args.seed,
             problem_kind=family.name,
             max_time=args.max_time,
+            population=args.population,
         )
     except SolverError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -302,9 +330,24 @@ def _solve_family(args: argparse.Namespace, family) -> int:
         print([int(v) + 1 for v in result.configuration])
         return 0
     print(result.summary())
+    _print_engine_line(result)
     if result.solved:
         print("solution (1-based):", [int(v) + 1 for v in result.configuration])
     return 0 if result.solved else 1
+
+
+def _print_engine_line(result) -> None:
+    """One observability line: kernel path, engine that ran, population width."""
+    from repro.core import _ckernels
+
+    parts = [f"kernel mode: {_ckernels.mode()}"]
+    engine = result.extra.get("engine")
+    if engine is not None:
+        parts.append(f"engine: {engine}")
+    population = int(result.extra.get("population", 1))
+    if population > 1:
+        parts.append(f"population: {population}")
+    print(", ".join(parts))
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -345,7 +388,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.basic:
         options = dict(err_weight="constant", use_chang=False, dedicated_reset=False)
 
-    if args.solver is not None or args.max_time is not None:
+    if args.solver is not None or args.max_time is not None or args.population > 1:
         # Any registered strategy, through the registry's uniform interface
         # (also the path for --max-time, which the registry harness provides
         # to every solver uniformly).
@@ -369,6 +412,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 problem_kind="costas",
                 max_time=args.max_time,
+                population=args.population,
             )
         except SolverError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -380,6 +424,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             print([int(v) + 1 for v in result.configuration])
             return 0
         print(result.summary())
+        _print_engine_line(result)
         if result.solved:
             array = CostasArray.from_permutation(result.configuration)
             print("permutation (1-based):", list(array.to_one_based()))
@@ -391,6 +436,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(list(result.as_costas_array().to_one_based()))
         return 0
     print(result.result.summary())
+    _print_engine_line(result.result)
     if result.solved:
         array = result.as_costas_array()
         print("permutation (1-based):", list(array.to_one_based()))
@@ -420,6 +466,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
                 solver=args.solver,
                 seed_root=args.seed,
                 max_time=args.max_time,
+                population=args.population,
             )
         else:
             from repro.core.params import ASParameters
@@ -432,13 +479,18 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
                 solver=args.solver,
                 n_workers=args.workers,
                 seed_root=args.seed,
+                population=args.population,
             )
             outcome = multiwalk.solve(max_time=args.max_time)
     except SolverError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    population_note = (
+        f" x {args.population} population walks each" if args.population > 1 else ""
+    )
     print(
-        f"{outcome.n_workers} walks ({'+'.join(outcome.solvers)}), "
+        f"{outcome.n_workers} walks{population_note} "
+        f"({'+'.join(outcome.solvers)}), "
         f"wall time {outcome.wall_time:.3f}s, "
         f"total iterations {outcome.total_iterations}"
     )
@@ -601,6 +653,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_path=args.db,
         n_workers=args.workers,
         walks_per_job=args.walks,
+        population=args.population,
         max_queue_depth=args.queue_depth,
         default_max_time=args.max_time,
         default_solver=args.solver,
@@ -621,11 +674,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             (args.host, args.port), config=config, verbose=not args.quiet
         )
         frontend = "sync"
+    # Resolving the kernel mode here also warms the compile cache in the
+    # parent, so forked workers inherit the loaded library for free.
+    from repro.core import _ckernels
+
+    population_note = f", population={args.population}" if args.population > 1 else ""
     print(
         f"repro service on http://{args.host}:{server.port} "
         f"(frontend={frontend}, store={args.db}, "
         f"workers={server.service.pool.n_workers}, "
-        f"queue_depth={args.queue_depth})"
+        f"queue_depth={args.queue_depth}, "
+        f"kernel_mode={_ckernels.mode()}{population_note})"
     )
     if fault_plan is not None and fault_plan.enabled:
         print(f"fault injection ACTIVE: {fault_plan.to_json()}")

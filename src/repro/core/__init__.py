@@ -27,6 +27,7 @@ from repro.core.problem import (
 )
 from repro.core.result import RunLimits, SolveResult
 from repro.core.engine import AdaptiveSearch, solve
+from repro.core.cwalk import CompiledAdaptiveSearch
 from repro.core.strategy import SearchStrategy, StrategyRun
 from repro.core.callbacks import (
     CallbackList,
@@ -49,6 +50,7 @@ __all__ = [
     "SolveResult",
     "RunLimits",
     "AdaptiveSearch",
+    "CompiledAdaptiveSearch",
     "solve",
     "SearchStrategy",
     "StrategyRun",

@@ -48,6 +48,29 @@ __all__ = ["AdaptiveSearch", "solve"]
 
 _INT64_MAX = np.iinfo(np.int64).max
 
+#: Per-class cache of the ``apply_swap(..., delta=...)`` capability probe.
+_DELTA_CAPABLE: dict = {}
+
+
+def _accepts_delta(problem: PermutationProblem) -> bool:
+    """Whether *problem*'s ``apply_swap`` accepts the scored ``delta`` keyword.
+
+    Out-of-tree models written against the pre-incremental contract may still
+    define ``apply_swap(self, i, j)``.  The ``inspect.signature`` probe is
+    cached per problem class: every walk of every portfolio run re-enters
+    :meth:`AdaptiveSearch.solve`, and re-parsing the signature there is pure
+    hot-path overhead.
+    """
+    cls = type(problem)
+    cached = _DELTA_CAPABLE.get(cls)
+    if cached is None:
+        try:
+            cached = "delta" in inspect.signature(problem.apply_swap).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            cached = True
+        _DELTA_CAPABLE[cls] = cached
+    return cached
+
 
 class AdaptiveSearch:
     """Reusable Adaptive Search solver.
@@ -115,16 +138,9 @@ class AdaptiveSearch:
         cb = callbacks if callbacks is not None else self.callbacks
         rng = ensure_generator(seed)
 
-        # Out-of-tree models written against the pre-incremental contract may
-        # still define ``apply_swap(self, i, j)``; only pass the scored delta
-        # through when the implementation can accept it.
-        try:
-            accepts_delta = (
-                "delta" in inspect.signature(problem.apply_swap).parameters
-            )
-        except (TypeError, ValueError):  # pragma: no cover - exotic callables
-            accepts_delta = True
-        if accepts_delta:
+        # Only pass the scored delta through when the implementation can
+        # accept it (probe cached per problem class, see _accepts_delta).
+        if _accepts_delta(problem):
             apply_swap = problem.apply_swap
         else:
             apply_swap = lambda i, j, delta=None: problem.apply_swap(i, j)  # noqa: E731

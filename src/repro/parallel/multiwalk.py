@@ -104,6 +104,7 @@ def _worker(
     stop_event,
     queue,
     max_time: Optional[float],
+    population: int = 1,
 ) -> None:
     """Body of one worker process: run this walk's strategy until solved,
     stopped or out of budget."""
@@ -116,6 +117,7 @@ def _worker(
             stop_check=stop_event.is_set,
             max_time=max_time,
             as_params=params,
+            population=population,
         )
         if result.solved:
             stop_event.set()
@@ -154,6 +156,13 @@ class MultiWalkSolver:
     mp_context:
         ``multiprocessing`` start method (``"fork"`` by default on POSIX —
         cheapest; use ``"spawn"`` for portability).
+    population:
+        Vectorised walks *per worker process* (default 1).  Each worker slot
+        whose strategy supports it (the compiled walk engine) advances
+        ``population`` independent walks in one kernel batch and reports the
+        best one, so the run races ``n_workers × population`` walks on
+        ``n_workers`` cores.  Strategies without population support run a
+        single walk per slot, unchanged.
     """
 
     def __init__(
@@ -166,6 +175,7 @@ class MultiWalkSolver:
         seeds: Optional[Sequence[int]] = None,
         seed_root: Optional[int] = None,
         mp_context: Optional[str] = None,
+        population: int = 1,
     ) -> None:
         self.problem_factory = problem_factory
         self.params = params if params is not None else ASParameters()
@@ -173,6 +183,9 @@ class MultiWalkSolver:
         self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         if self.n_workers < 1:
             raise ParallelExecutionError(f"n_workers must be >= 1, got {self.n_workers}")
+        if population < 1:
+            raise ParallelExecutionError(f"population must be >= 1, got {population}")
+        self.population = population
         # A portfolio races first-past-the-post only if every member actually
         # gets a walk; silently dropping the tail of the round-robin would
         # run a different portfolio than the one requested.
@@ -247,6 +260,7 @@ class MultiWalkSolver:
                 seed=seeds[0],
                 max_time=max_time,
                 as_params=self.params,
+                population=self.population,
             )
             result.extra["walk_index"] = 0
             elapsed = time.perf_counter() - start
@@ -268,6 +282,7 @@ class MultiWalkSolver:
                     stop_event,
                     queue,
                     max_time,
+                    self.population,
                 ),
                 daemon=True,
             )

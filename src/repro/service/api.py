@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core import _ckernels
 from repro.exceptions import ReproError, SolverError
 from repro.problems import get_family
 from repro.service.faults import (
@@ -71,6 +72,11 @@ class ServiceConfig:
     #: Independent walks per search-tier job (first past the post).  A
     #: portfolio request always gets at least one walk per portfolio member.
     walks_per_job: int = 1
+    #: Vectorised walks per worker slot (compiled walk engine only): each
+    #: walk of a job advances this many independent walks in one kernel
+    #: batch and reports the best.  Solvers without population support run a
+    #: single walk per slot regardless.
+    population: int = 1
     #: Default per-walk wall-clock budget (seconds); ``None`` = unbounded.
     default_max_time: Optional[float] = 300.0
     #: Solver (or portfolio) used when a request does not name one: a
@@ -846,6 +852,7 @@ class SolverService:
             "deadline_at": deadline_at,
             "model_options": dict(model_options) if model_options else {},
             "progress_interval": self.config.progress_interval,
+            "population": max(1, int(self.config.population)),
         }
 
     def _attach_ticket(
@@ -1108,6 +1115,11 @@ class SolverService:
                     "solver": best.solver,
                     "walks": handle.walks,
                     "coalesced_width": job.width,
+                    # Which engine ran the winning walk ("compiled",
+                    # "numpy-fallback", absent for non-adaptive strategies)
+                    # and how wide its in-process population was.
+                    "engine": best.extra.get("engine"),
+                    "population": int(best.extra.get("population", 1)),
                 },
             },
         )
@@ -1265,6 +1277,15 @@ class SolverService:
         breaker_status = "degraded" if breaker["open"] else "ok"
         components = {
             "store": store_health,
+            # Informational: which Adaptive Search engine path workers run
+            # ("c" = compiled walk kernels, "numpy" = pure-Python fallback)
+            # and the per-slot vectorised population width.  NumPy mode is a
+            # slower but fully functional path, hence never degraded.
+            "engine": {
+                "status": "ok",
+                "kernel_mode": _ckernels.mode(),
+                "population": max(1, int(self.config.population)),
+            },
             "pool": {"status": pool_status, **pool_stats},
             "scheduler": {
                 "status": "ok" if not self.scheduler.closed else "failing",
@@ -1330,9 +1351,17 @@ class SolverService:
             "scheduler": self.scheduler.stats(),
             "pool": self.pool.stats(),
             "breaker": self.breaker.snapshot(),
+            # Which Adaptive Search engine path the workers run ("c" =
+            # compiled walk kernels, "numpy" = fallback) and the vectorised
+            # per-slot population width.
+            "engine": {
+                "kernel_mode": _ckernels.mode(),
+                "population": max(1, int(self.config.population)),
+            },
             "config": {
                 "n_workers": self.pool.n_workers,
                 "walks_per_job": self.config.walks_per_job,
+                "population": max(1, int(self.config.population)),
                 "max_queue_depth": self.config.max_queue_depth,
                 "default_solver": self._default_solver_label,
                 "use_store": self.config.use_store,

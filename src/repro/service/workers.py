@@ -125,14 +125,18 @@ def _pool_worker(
     Loops forever: pull ``(job_id, walk_index, spec)``, announce the claim,
     solve, report.  ``spec`` is a plain dict (picklable under ``spawn``):
     ``{"kind", "order", "solver": spec-dict | None, "params": dict | None,
-    "seed", "max_time", "deadline_at", "model_options"}``.  ``kind`` selects
+    "seed", "max_time", "deadline_at", "model_options", "population"}``.
+    ``kind`` selects
     any family of the :mod:`repro.problems` registry; ``solver`` selects any
     strategy of the :mod:`repro.solvers` registry (``None`` = Adaptive
     Search); ``params`` is the legacy engine-parameter override honoured by
     adaptive walks only — solver-specific parameters travel inside
     ``solver``.  ``deadline_at`` is an absolute ``time.time()`` deadline that
     caps the walk's time budget (an already-expired deadline is reported as
-    an error without solving).
+    an error without solving).  ``population`` (default 1) runs that many
+    vectorised walks per slot in one compiled-kernel batch, reporting the
+    best walk's result; solvers without population support degrade to a
+    single walk.
 
     Chaos: the :data:`~repro.service.faults.FAULTS_ENV_VAR` plan inherited
     from the parent drives the ``worker.crash`` / ``worker.hang`` /
@@ -227,6 +231,7 @@ def _pool_worker(
                 max_time=max_time,
                 callbacks=reporter,
                 as_params=as_params,
+                population=int(spec.get("population") or 1),
             )
             result.extra["worker_id"] = worker_id
             result.extra["walk_index"] = walk_index

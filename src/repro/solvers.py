@@ -38,6 +38,7 @@ from repro.baselines.random_restart import (
     RandomRestartParameters,
 )
 from repro.baselines.tabu import TabuSearch, TabuSearchParameters
+from repro.core.cwalk import CompiledAdaptiveSearch
 from repro.core.engine import AdaptiveSearch
 from repro.core.params import ASParameters
 from repro.core.problem import PermutationProblem
@@ -286,7 +287,7 @@ def build_solver(
     params: Optional[Any] = None
     if resolved.params:
         params = _resolve_params(info, resolved.params)
-    elif info.name == "adaptive" and as_params is not None:
+    elif info.name in ("adaptive", "compiled") and as_params is not None:
         params = as_params
     elif info.default_params is not None and order is not None:
         params = info.default_params(problem_kind, order)
@@ -303,11 +304,35 @@ def run_spec(
     callbacks: Optional[Any] = None,
     max_time: Optional[float] = None,
     as_params: Optional[ASParameters] = None,
+    population: int = 1,
 ) -> SolveResult:
-    """Build the solver for *spec* and run it on *problem* in one call."""
+    """Build the solver for *spec* and run it on *problem* in one call.
+
+    ``population > 1`` asks for a vectorised in-process population: when the
+    resolved solver implements ``solve_population`` (the compiled walk
+    engine), one call advances *population* independent walks in a single
+    kernel batch and the best walk's result is returned, with the siblings'
+    aggregate iteration count in ``extra["population_iterations"]``.  Solvers
+    without population support run a single walk — population is a
+    parallelism knob, not a solver parameter, so it degrades rather than
+    erroring.
+    """
     solver, _ = build_solver(
         spec, problem_kind=problem_kind, order=problem.size, as_params=as_params
     )
+    if population > 1 and hasattr(solver, "solve_population"):
+        results = solver.solve_population(
+            problem,
+            seed=seed,
+            population=population,
+            stop_check=stop_check,
+            callbacks=callbacks,
+            max_time=max_time,
+        )
+        best = SolveResult.best_of(results)
+        best.extra = dict(best.extra)
+        best.extra["population_iterations"] = sum(r.iterations for r in results)
+        return best
     return solver.solve(
         problem,
         seed=seed,
@@ -399,6 +424,21 @@ register_solver(
         "with tabu marking, resets and restarts",
         aliases=("adaptive-search", "as"),
         result_name="adaptive-search",
+        problem_kinds=("permutation",),
+        default_params=_adaptive_defaults,
+    )
+)
+
+register_solver(
+    SolverInfo(
+        name="compiled",
+        factory=lambda params: CompiledAdaptiveSearch(params=params),
+        params_cls=ASParameters,
+        summary="Adaptive Search with the whole inner loop compiled to C "
+        "(batched multi-walk populations; NumPy-engine fallback when no "
+        "C toolchain or for non-compiled families)",
+        aliases=("compiled-adaptive-search", "cwalk"),
+        result_name="compiled-adaptive-search",
         problem_kinds=("permutation",),
         default_params=_adaptive_defaults,
     )

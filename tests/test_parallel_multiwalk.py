@@ -89,10 +89,13 @@ class TestDeadWorkerDetection:
 
         real_worker = mw._worker
 
-        def selective(factory, params, spec, seed, walk_index, stop_event, queue, max_time):
+        def selective(
+            factory, params, spec, seed, walk_index, stop_event, queue, max_time, *rest
+        ):
             if walk_index == 0:
                 real_worker(
-                    factory, params, spec, seed, walk_index, stop_event, queue, max_time
+                    factory, params, spec, seed, walk_index, stop_event, queue,
+                    max_time, *rest
                 )
             else:  # pragma: no cover - child body
                 import os

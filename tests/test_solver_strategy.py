@@ -39,6 +39,7 @@ from repro.solvers import (
 #: sharp).
 _FAST_PARAMS = {
     "adaptive": {"check_period": 1, "max_iterations": 200_000},
+    "compiled": {"check_period": 1, "max_iterations": 200_000},
     "tabu": {"check_period": 1},
     "random-restart": {"check_period": 1},
     "dialectic": {"check_period": 1},
@@ -71,7 +72,9 @@ def _problems_for(info):
 
 class TestRegistry:
     def test_all_expected_solvers_registered(self):
-        assert solver_names() == ["adaptive", "cp", "dialectic", "random-restart", "tabu"]
+        assert solver_names() == [
+            "adaptive", "compiled", "cp", "dialectic", "random-restart", "tabu"
+        ]
 
     def test_aliases_resolve_to_canonical_entries(self):
         assert get_solver("as").name == "adaptive"

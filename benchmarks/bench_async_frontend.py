@@ -155,7 +155,8 @@ async def _run_level(port: int, clients: int, deadline: float) -> Dict[str, obje
         "ok": ok,
         "errors": clients - ok,
         "p50_ms": round(1000 * latencies[len(latencies) // 2], 2),
-        "p95_ms": round(1000 * latencies[int(len(latencies) * 0.95)], 2),
+        "p95_ms": round(1000 * latencies[min(len(latencies) - 1, int(len(latencies) * 0.95))], 2),
+        "p99_ms": round(1000 * latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))], 2),
         "max_ms": round(1000 * latencies[-1], 2),
         "sustained": ok == clients,
     }
@@ -169,23 +170,26 @@ def run_ladder(
     rows: List[Dict[str, object]] = []
     max_sustained = 0
     p50_at_max: Optional[float] = None
+    p99_at_max: Optional[float] = None
     for clients in levels:
         row = asyncio.run(_run_level(frontend.port, clients, deadline))
         rows.append(row)
         print(
             f"  {frontend.kind:9s} C={clients:5d}  ok {row['ok']}/{clients}  "
-            f"p50 {row['p50_ms']:8.1f} ms  p95 {row['p95_ms']:8.1f} ms",
+            f"p50 {row['p50_ms']:8.1f} ms  p99 {row['p99_ms']:8.1f} ms",
             flush=True,
         )
         if row["sustained"]:
             max_sustained = clients
             p50_at_max = row["p50_ms"]
+            p99_at_max = row["p99_ms"]
         else:
             break
     return {
         "levels": rows,
         "max_sustained_clients": max_sustained,
         "p50_at_max_ms": p50_at_max,
+        "p99_at_max_ms": p99_at_max,
     }
 
 
@@ -292,6 +296,14 @@ def main() -> int:
         ),
         ladders["async"]["p50_at_max_ms"],
     )
+    async_p99 = next(
+        (
+            row["p99_ms"]
+            for row in ladders["async"]["levels"]
+            if row["sustained"] and target_level and row["clients"] == target_level
+        ),
+        ladders["async"]["p99_at_max_ms"],
+    )
     p50_not_worse = (
         async_p50 is not None and threaded_p50 is not None and async_p50 <= threaded_p50
     )
@@ -311,7 +323,9 @@ def main() -> int:
         "concurrency_ratio": round(ratio, 2),
         "p50_comparison_level": target_level,
         "async_p50_at_comparison_ms": async_p50,
+        "async_p99_at_comparison_ms": async_p99,
         "threaded_p50_at_ceiling_ms": threaded_p50,
+        "threaded_p99_at_ceiling_ms": ladders["threaded"]["p99_at_max_ms"],
         "async_p50_not_worse": p50_not_worse,
         "batch": batch,
         "targets": {"concurrency_ratio_min": 10.0, "batch_amortisation_min": 5.0},
@@ -329,10 +343,23 @@ def main() -> int:
         payload["pass"] = bool(
             ratio >= 10.0 and p50_not_worse and batch["amortisation"] >= 5.0
         )
-    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    out_path = Path(args.out)
+    # Merge-preserve: keep top-level keys a different tool (or an earlier
+    # fuller run) left in the file and we do not produce ourselves, so
+    # repeated smoke runs never clobber unrelated results.
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict):
+            for key, value in existing.items():
+                if key not in payload:
+                    payload[key] = value
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(
         f"concurrency {async_max} vs {threaded_max} clients ({ratio:.0f}x), "
-        f"p50 {async_p50} vs {threaded_p50} ms, "
+        f"p50 {async_p50} vs {threaded_p50} ms (p99 {async_p99} ms), "
         f"batch amortisation {batch['amortisation']}x -> "
         f"{'PASS' if payload['pass'] else 'FAIL'} (written to {args.out})"
     )

@@ -1,0 +1,418 @@
+"""Open-loop QoS benchmark: does interactive p99 survive a background flood?
+
+Closed-loop load generators (N clients in a request/response loop) slow down
+exactly when the server does, hiding tail latency — the *coordinated
+omission* trap.  This harness is **open-loop**: request start times are drawn
+from a Poisson process up front and every request fires at its scheduled
+instant regardless of how the previous ones are doing, so queueing delay
+lands in the measurement instead of in the generator.
+
+Two phases against one lane-enabled server (async front-end, subprocess):
+
+1. **Unloaded baseline** — interactive-lane traffic alone at a modest
+   arrival rate.  Its p99 is the reference value.
+2. **Flood** — the *same* interactive workload while a background tenant
+   floods the background lane at >= 2x the server's worker capacity.
+
+Every request is a real search (store and construction tiers disabled) with
+a fixed ``max_time``, so worker capacity is known: ``slots / max_time``
+jobs/s.  A tiny per-request ``max_time`` jitter makes every instance key
+unique, so coalescing cannot quietly turn the flood into one job.  The order
+mix is heavy-tailed (Zipf over a band of hard orders) to mimic a skewed
+production mix.
+
+Acceptance (written to ``BENCH_qos.json``):
+
+* interactive p99 under flood <= 2x its unloaded value,
+* shed/rejected responses confined to the background lane (the interactive
+  lane sees neither client-side 503s nor server-side shed counters),
+* the background flood really was refused work (sheds or 503s observed).
+
+The arrival schedule is deterministic per ``--seed`` and can be written out
+(``--trace-out``) and replayed bit-identically (``--trace-in``), so a tail
+regression seen once can be re-run against a patched server.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_open_loop.py          # full run
+    PYTHONPATH=src python benchmarks/bench_open_loop.py --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import random
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Server subprocess: lane-enabled async front-end on an ephemeral port.
+_SERVER_MAIN = """
+import sys
+from repro.service.api import ServiceConfig
+from repro.service.http_async import AsyncServiceHTTPServer
+
+config = ServiceConfig(
+    store_path=sys.argv[1],
+    n_workers=int(sys.argv[2]),
+    max_queue_depth=int(sys.argv[3]),
+    default_max_time=120.0,
+    lanes="default",
+)
+server = AsyncServiceHTTPServer(("127.0.0.1", 0), config=config, verbose=False)
+print(server.port, flush=True)
+server.serve_forever()
+"""
+
+#: Heavy-tailed order mix: hard-enough Costas orders that a bounded-time
+#: walk treats as "run until max_time"; Zipf-ish weights 1/k^1.5.
+_ORDERS = [19, 20, 21, 22, 23, 24, 25, 26]
+
+_SLO_MS = {"interactive": 1000.0, "batch": 4000.0, "background": float("inf")}
+
+
+# ------------------------------------------------------------------ generator
+def build_trace(
+    *,
+    seed: int,
+    duration: float,
+    interactive_rate: float,
+    background_rate: float,
+    max_time: float,
+) -> List[Dict[str, Any]]:
+    """Poisson arrival schedule for one phase, deterministic per seed.
+
+    Each event: ``{"t": offset_s, "order": n, "lane": ..., "tenant": ...,
+    "max_time": jittered}``.  The jitter (micro-seconds, unique per event)
+    defeats request coalescing without changing the actual budget.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (k + 1) ** 1.5 for k in range(len(_ORDERS))]
+    events: List[Dict[str, Any]] = []
+    serial = 0
+    for lane, tenant, rate in (
+        ("interactive", "frontend", interactive_rate),
+        ("background", "flood", background_rate),
+    ):
+        if rate <= 0:
+            continue
+        t = rng.expovariate(rate)
+        while t < duration:
+            serial += 1
+            events.append(
+                {
+                    "t": round(t, 6),
+                    "order": rng.choices(_ORDERS, weights)[0],
+                    "lane": lane,
+                    "tenant": tenant,
+                    "max_time": round(max_time + serial * 1e-6, 6),
+                }
+            )
+            t += rng.expovariate(rate)
+    events.sort(key=lambda e: e["t"])
+    return events
+
+
+# --------------------------------------------------------------------- server
+class LaneServer:
+    """One lane-enabled server subprocess plus minimal client plumbing."""
+
+    def __init__(self, n_workers: int, queue_depth: int) -> None:
+        self._db = tempfile.mktemp(prefix="bench-qos-", suffix=".db")
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self._proc = subprocess.Popen(
+            [sys.executable, "-c", _SERVER_MAIN, self._db, str(n_workers), str(queue_depth)],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        assert self._proc.stdout is not None
+        self.port = int(self._proc.stdout.readline())
+
+    def stats(self) -> Dict[str, Any]:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{self.port}/stats", timeout=30
+        ) as resp:
+            return json.loads(resp.read())
+
+    def close(self) -> None:
+        self._proc.terminate()
+        try:
+            self._proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            self._proc.kill()
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(self._db + suffix)
+            except OSError:
+                pass
+
+
+# --------------------------------------------------------------------- client
+async def _fire(port: int, event: Dict[str, Any], timeout: float) -> Dict[str, Any]:
+    """One open-loop request; returns {lane, status, latency}."""
+    body = json.dumps(
+        {
+            "order": event["order"],
+            "wait": True,
+            "lane": event["lane"],
+            "tenant": event["tenant"],
+            "max_time": event["max_time"],
+            "use_store": False,
+            "use_constructions": False,
+        }
+    ).encode()
+    payload = (
+        f"POST /solve HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode() + body
+    start = time.perf_counter()
+    status = 0
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection("127.0.0.1", port), timeout
+        )
+        writer.write(payload)
+        await asyncio.wait_for(writer.drain(), timeout)
+        data = await asyncio.wait_for(reader.read(), timeout)
+        writer.close()
+        head = data.split(b"\r\n", 1)[0].split(b" ")
+        status = int(head[1]) if len(head) > 1 else 0
+    except Exception:
+        status = 0  # connect/read failure or deadline: counted as an error
+    return {
+        "lane": event["lane"],
+        "status": status,
+        "latency": time.perf_counter() - start,
+    }
+
+
+async def run_phase(
+    port: int, trace: List[Dict[str, Any]], timeout: float
+) -> List[Dict[str, Any]]:
+    """Fire the whole schedule open-loop; gather every outcome."""
+    t0 = time.perf_counter()
+
+    async def fire_at(event: Dict[str, Any]) -> Dict[str, Any]:
+        delay = event["t"] - (time.perf_counter() - t0)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return await _fire(port, event, timeout)
+
+    return list(await asyncio.gather(*[fire_at(e) for e in trace]))
+
+
+def _percentile(sorted_values: List[float], pct: float) -> Optional[float]:
+    if not sorted_values:
+        return None
+    return sorted_values[min(len(sorted_values) - 1, int(len(sorted_values) * pct))]
+
+
+def summarise(
+    results: List[Dict[str, Any]], duration: float
+) -> Dict[str, Dict[str, Any]]:
+    """Per-lane outcome counts, latency percentiles and sustained rate."""
+    lanes: Dict[str, Dict[str, Any]] = {}
+    for lane in sorted({r["lane"] for r in results}):
+        rows = [r for r in results if r["lane"] == lane]
+        ok = [r for r in rows if r["status"] == 200]
+        latencies = sorted(r["latency"] for r in ok)
+        slo_ms = _SLO_MS.get(lane, float("inf"))
+        p99 = _percentile(latencies, 0.99)
+        lanes[lane] = {
+            "sent": len(rows),
+            "ok": len(ok),
+            "rejected_503": sum(1 for r in rows if r["status"] == 503),
+            "rejected_429": sum(1 for r in rows if r["status"] == 429),
+            "errors": sum(1 for r in rows if r["status"] not in (200, 503, 429)),
+            "p50_ms": round(1000 * (_percentile(latencies, 0.50) or 0), 2),
+            "p99_ms": round(1000 * (p99 or 0), 2),
+            "sustained_rps": round(len(ok) / duration, 2),
+            "slo_ms": None if slo_ms == float("inf") else slo_ms,
+            "slo_met": bool(p99 is not None and p99 * 1000 <= slo_ms),
+        }
+    return lanes
+
+
+# ----------------------------------------------------------------------- main
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small CI-sized run")
+    parser.add_argument("--seed", type=int, default=20260807, help="trace seed")
+    parser.add_argument("--out", default="BENCH_qos.json", help="output JSON path")
+    parser.add_argument(
+        "--trace-out", default=None, help="write the generated arrival schedule here"
+    )
+    parser.add_argument(
+        "--trace-in", default=None, help="replay a schedule written by --trace-out"
+    )
+    args = parser.parse_args()
+
+    n_workers = 2
+    max_time = 0.15
+    queue_depth = 32
+    duration = 12.0 if args.smoke else 30.0
+    interactive_rate = 2.0
+    capacity = n_workers / max_time  # jobs/s the pool can drain
+    background_rate = round(2.5 * capacity, 2)  # >= 2x capacity flood
+    client_timeout = 30.0
+
+    if args.trace_in:
+        traces = json.loads(Path(args.trace_in).read_text())
+        baseline_trace, flood_trace = traces["baseline"], traces["flood"]
+        duration = traces["duration"]
+    else:
+        baseline_trace = build_trace(
+            seed=args.seed,
+            duration=duration,
+            interactive_rate=interactive_rate,
+            background_rate=0.0,
+            max_time=max_time,
+        )
+        flood_trace = build_trace(
+            seed=args.seed + 1,
+            duration=duration,
+            interactive_rate=interactive_rate,
+            background_rate=background_rate,
+            max_time=max_time,
+        )
+    if args.trace_out:
+        Path(args.trace_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.trace_out).write_text(
+            json.dumps(
+                {
+                    "seed": args.seed,
+                    "duration": duration,
+                    "baseline": baseline_trace,
+                    "flood": flood_trace,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+    print(
+        f"open-loop QoS bench: {n_workers} workers, max_time {max_time}s "
+        f"-> capacity ~{capacity:.0f} jobs/s; flood {background_rate} req/s "
+        f"({background_rate / capacity:.1f}x capacity), "
+        f"interactive {interactive_rate} req/s, {duration:.0f}s phases",
+        flush=True,
+    )
+
+    server = LaneServer(n_workers, queue_depth)
+    try:
+        print(f"phase 1: unloaded interactive baseline ({len(baseline_trace)} requests)", flush=True)
+        baseline = summarise(
+            asyncio.run(run_phase(server.port, baseline_trace, client_timeout)),
+            duration,
+        )
+        print(f"phase 2: background flood ({len(flood_trace)} requests)", flush=True)
+        flood = summarise(
+            asyncio.run(run_phase(server.port, flood_trace, client_timeout)),
+            duration,
+        )
+        # Let shed futures settle before sampling the server's own counters.
+        time.sleep(0.5)
+        stats = server.stats()
+    finally:
+        server.close()
+
+    lane_stats = stats["scheduler"]["lanes"]
+    base_p99 = baseline["interactive"]["p99_ms"]
+    flood_p99 = flood["interactive"]["p99_ms"]
+    interactive_clean = (
+        flood["interactive"]["rejected_503"] == 0
+        and flood["interactive"]["rejected_429"] == 0
+        and lane_stats["interactive"]["shed"] == 0
+        and lane_stats["interactive"]["rejected"] == 0
+    )
+    background_refused = (
+        flood["background"]["rejected_503"] > 0
+        or lane_stats["background"]["shed"] > 0
+    )
+    p99_held = bool(base_p99 and flood_p99 and flood_p99 <= 2.0 * base_p99)
+
+    report = {
+        "benchmark": "qos_open_loop",
+        "mode": "smoke" if args.smoke else "full",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "seed": args.seed,
+        "config": {
+            "n_workers": n_workers,
+            "max_time_s": max_time,
+            "queue_depth": queue_depth,
+            "duration_s": duration,
+            "capacity_rps": round(capacity, 2),
+            "interactive_rate_rps": interactive_rate,
+            "background_rate_rps": background_rate,
+            "flood_over_capacity": round(background_rate / capacity, 2),
+            "order_mix": _ORDERS,
+        },
+        "baseline": baseline,
+        "flood": flood,
+        "server": {
+            "lanes": lane_stats,
+            "shed_total": stats["scheduler"]["shed"],
+            "latency": stats.get("latency", {}),
+        },
+        "acceptance": {
+            "interactive_p99_unloaded_ms": base_p99,
+            "interactive_p99_flood_ms": flood_p99,
+            "p99_ratio": round(flood_p99 / base_p99, 2) if base_p99 else None,
+            "interactive_p99_within_2x": p99_held,
+            "shedding_confined_to_background": interactive_clean,
+            "background_flood_refused": background_refused,
+        },
+        "pass": bool(p99_held and interactive_clean and background_refused),
+    }
+
+    out_path = Path(args.out)
+    # Merge-preserve unrelated top-level keys an earlier run left behind
+    # (same convention as bench_incremental_vs_reference.py).
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict):
+            for key, value in existing.items():
+                if key not in report:
+                    report[key] = value
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    for phase_name, lanes in (("baseline", baseline), ("flood", flood)):
+        for lane, row in lanes.items():
+            print(
+                f"  {phase_name:8s} {lane:11s} sent {row['sent']:5d}  "
+                f"ok {row['ok']:5d}  503 {row['rejected_503']:4d}  "
+                f"p50 {row['p50_ms']:7.1f} ms  p99 {row['p99_ms']:7.1f} ms",
+                flush=True,
+            )
+    print(
+        f"interactive p99 {base_p99:.0f} -> {flood_p99:.0f} ms "
+        f"({(flood_p99 / base_p99) if base_p99 else 0:.2f}x, limit 2x); "
+        f"background shed {lane_stats['background']['shed']}, "
+        f"rejected {lane_stats['background']['rejected']}; "
+        f"interactive shed {lane_stats['interactive']['shed']} -> "
+        f"{'PASS' if report['pass'] else 'FAIL'} (written to {args.out})"
+    )
+    return 0 if report["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

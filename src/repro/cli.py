@@ -198,6 +198,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth", type=int, default=256, help="max queued jobs before 503 backpressure"
     )
     p_serve.add_argument(
+        "--lanes",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="SPEC",
+        help="enable QoS lanes: bare --lanes uses the stock "
+        "interactive/batch/background split; or pass "
+        "'name[=depth[:weight]],...' for custom lanes",
+    )
+    p_serve.add_argument(
+        "--quota",
+        default=None,
+        metavar="SPEC",
+        help="per-tenant admission quotas as 'tenant=rate[:burst],...' "
+        "(rate in new jobs/s; '*' sets the default for unlisted tenants)",
+    )
+    p_serve.add_argument(
         "--max-time", type=float, default=300.0, help="default per-walk time budget (s)"
     )
     p_serve.add_argument(
@@ -271,6 +288,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-retry",
         action="store_true",
         help="fail immediately on 503 or a dropped connection",
+    )
+    p_req.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant identity, sent as the X-Repro-Tenant header "
+        "(counted against per-tenant quotas when the server runs --quota)",
+    )
+    p_req.add_argument(
+        "--lane",
+        default=None,
+        help="QoS lane to request (interactive/batch/background when the "
+        "server runs --lanes); omit to let the server classify by deadline",
     )
     return parser
 
@@ -649,6 +678,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: --faults: {exc}", file=sys.stderr)
             return 1
+    if args.lanes is not None or args.quota is not None:
+        # Validate in the CLI so a typo'd spec is a one-line error, not a
+        # traceback out of the service constructor.
+        from repro.service.qos import TenantQuotas, parse_lanes
+
+        try:
+            if args.lanes is not None:
+                parse_lanes(args.lanes, args.queue_depth)
+            if args.quota is not None:
+                TenantQuotas.from_spec(args.quota)
+        except ValueError as exc:
+            print(f"error: --lanes/--quota: {exc}", file=sys.stderr)
+            return 1
     config = ServiceConfig(
         store_path=args.db,
         n_workers=args.workers,
@@ -659,6 +701,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_solver=args.solver,
         fault_plan=fault_plan,
         drain_timeout=args.drain_timeout,
+        lanes=args.lanes,
+        quotas=args.quota,
     )
     if args.frontend_async:
         from repro.service.http_async import AsyncServiceHTTPServer
@@ -686,6 +730,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"queue_depth={args.queue_depth}, "
         f"kernel_mode={_ckernels.mode()}{population_note})"
     )
+    if args.lanes is not None:
+        print(
+            "QoS lanes ACTIVE: "
+            + ", ".join(server.service.scheduler.lane_order)
+            + (f" (quota: {args.quota})" if args.quota else "")
+        )
     if fault_plan is not None and fault_plan.enabled:
         print(f"fault injection ACTIVE: {fault_plan.to_json()}")
     # SIGTERM (the default `kill`, and what container runtimes send) drains
@@ -735,11 +785,14 @@ def _cmd_request(args: argparse.Namespace) -> int:
 
     def _call_once(method: str, path: str, body=None, timeout: float = 30.0):
         data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if args.tenant is not None:
+            headers["X-Repro-Tenant"] = args.tenant
         req = urllib.request.Request(
             base + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(req, timeout=timeout) as resp:
@@ -768,7 +821,9 @@ def _cmd_request(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
             else:
-                if status != 503 or attempt >= retries:
+                # 503 = server saturated, 429 = over tenant quota; both carry
+                # Retry-After and both deserve the same backoff treatment.
+                if status not in (503, 429) or attempt >= retries:
                     return status, payload
                 delay = backoff.delay(attempt + 1, rng)
                 retry_after = headers.get("Retry-After")
@@ -793,6 +848,8 @@ def _cmd_request(args: argparse.Namespace) -> int:
             body["deadline"] = args.deadline
         if args.solver is not None:
             body["solver"] = args.solver
+        if args.lane is not None:
+            body["lane"] = args.lane
         return body
 
     def _print_solved(payload: dict, order: int) -> None:

@@ -43,6 +43,18 @@ from repro.service.faults import (
     FaultPlan,
     ServiceDegradedError,
 )
+from repro.service.qos import (
+    BACKGROUND,
+    DEFAULT_LANE,
+    DEFAULT_TENANT,
+    INTERACTIVE,
+    LaneSpec,
+    LatencyHistogram,
+    TenantQuotas,
+    classify_lane,
+    default_lanes,
+    parse_lanes,
+)
 from repro.service.scheduler import Job, RequestScheduler, Ticket
 from repro.service.store import SolutionStore, StoreUnavailableError
 from repro.service.workers import PoolJobHandle, WorkerPool
@@ -121,6 +133,23 @@ class ServiceConfig:
     #: only a pool that *stays* dead — respawns not taking — trips the
     #: refusal.  ``None`` derives ``max(2.0, 2 * liveness_grace)``.
     pool_dead_grace: Optional[float] = None
+    #: QoS lanes: ``None`` keeps the single-lane scheduler (the pre-lane
+    #: behaviour); ``True`` enables the stock interactive/batch/background
+    #: policy; a ``--lanes`` spec string or a :class:`~repro.service.qos.LaneSpec`
+    #: sequence customises it.  Per-lane depth defaults to
+    #: ``max_queue_depth``, which also stays the *global* queued bound —
+    #: hitting it sheds the newest job from the cheapest lane.
+    lanes: Optional[Any] = None
+    #: Per-tenant admission quotas: a :class:`~repro.service.qos.TenantQuotas`,
+    #: a ``--quota`` spec string (``tenant=rate[:burst]``, ``*`` catch-all)
+    #: or ``None`` for no limits.  One token is charged per *new* job.
+    quotas: Optional[Any] = None
+    #: Requests with a relative deadline at or under this many seconds are
+    #: classified interactive when no explicit lane is named.
+    interactive_deadline: float = 10.0
+    #: In-process LRU read-through cache entries in front of the SQLite
+    #: store (``0`` disables; hot keys then always touch disk).
+    store_cache: int = 256
 
 
 @dataclass
@@ -161,6 +190,9 @@ class ServiceRequest:
     future: Future
     ticket: Optional[Ticket] = None
     submitted_at: float = field(default_factory=time.perf_counter)
+    #: QoS classification the request was admitted under.
+    lane: str = DEFAULT_LANE
+    tenant: str = DEFAULT_TENANT
 
     def result(self, timeout: Optional[float] = None) -> ServiceResponse:
         return self.future.result(timeout)
@@ -286,9 +318,16 @@ class SolverService:
         self.store = SolutionStore(
             self.config.store_path,
             faults=FaultInjector(self.fault_plan, scope="store"),
+            cache_size=self.config.store_cache,
         )
+        self.lanes = self._resolve_lanes(
+            self.config.lanes, self.config.max_queue_depth
+        )
+        self.quotas = self._resolve_quotas(self.config.quotas)
         self.scheduler = RequestScheduler(
             max_depth=self.config.max_queue_depth,
+            lanes=self.lanes,
+            quotas=self.quotas,
             on_cancel_running=self._abort_running_job,
         )
         self.pool = WorkerPool(
@@ -343,6 +382,22 @@ class SolverService:
         self._immediate = {"store": 0, "construction": 0}
         self._searches = 0
         self._batches = 0
+        #: Per-request service-time histograms for GET /stats: one overall,
+        #: plus one per lane when QoS lanes are enabled.
+        self._latency: Dict[str, LatencyHistogram] = {"overall": LatencyHistogram()}
+        if self.lanes is not None:
+            for spec in self.lanes:
+                self._latency[spec.name] = LatencyHistogram()
+        #: Worker-slot permits currently held by non-interactive jobs; the
+        #: dispatcher uses it to always hold one slot back for the
+        #: interactive lane (lane-aware slot reservation).
+        self._nonint_permits = 0
+        self._reserved_lanes: Optional[Tuple[str, ...]] = (
+            (INTERACTIVE,)
+            if self.lanes is not None
+            and any(spec.name == INTERACTIVE for spec in self.lanes)
+            else None
+        )
         #: Per-family observability: requests and solved responses by tier.
         self._kinds: Dict[str, Dict[str, int]] = {}
         # Per-solver observability: requests by requested portfolio label,
@@ -372,6 +427,76 @@ class SolverService:
             f"got {type(plan).__name__}"
         )
 
+    @staticmethod
+    def _resolve_lanes(
+        lanes: Any, default_depth: Optional[int]
+    ) -> Optional[Tuple[LaneSpec, ...]]:
+        """Normalise the config's lane policy (``None`` = single-lane mode)."""
+        if lanes is None or lanes is False:
+            return None
+        try:
+            if lanes is True:
+                return default_lanes(default_depth)
+            if isinstance(lanes, str):
+                return parse_lanes(lanes, default_depth)
+            specs = tuple(lanes)
+        except (TypeError, ValueError) as exc:
+            raise SolverError(f"invalid lanes config: {exc}") from None
+        if not specs or not all(isinstance(s, LaneSpec) for s in specs):
+            raise SolverError("lanes must be a spec string, True, or LaneSpec list")
+        return specs
+
+    @staticmethod
+    def _resolve_quotas(quotas: Any) -> Optional[TenantQuotas]:
+        """Normalise the config's tenant quotas (``None`` = unlimited)."""
+        if quotas is None:
+            return None
+        if isinstance(quotas, TenantQuotas):
+            return quotas
+        try:
+            if isinstance(quotas, str):
+                return TenantQuotas.from_spec(quotas)
+            if isinstance(quotas, Mapping):
+                limits = {
+                    str(k): (float(v[0]), float(v[1]))
+                    for k, v in quotas.items()
+                    if k != "*"
+                }
+                default = quotas.get("*")
+                if default is not None:
+                    default = (float(default[0]), float(default[1]))
+                return TenantQuotas(limits, default)
+        except (TypeError, ValueError, IndexError) as exc:
+            raise SolverError(f"invalid quota config: {exc}") from None
+        raise SolverError("quotas must be a spec string, mapping or TenantQuotas")
+
+    def _classify(
+        self,
+        lane: Optional[str],
+        deadline: Optional[float],
+        priority: int,
+    ) -> Optional[str]:
+        """Pipeline stage 1 (*classify*): pick the lane for one request.
+
+        Returns ``None`` in single-lane mode (the scheduler's implicit
+        lane); raises :class:`~repro.exceptions.SolverError` (HTTP 400) for
+        an explicitly named lane that is not configured.
+        """
+        if self.lanes is None:
+            return None
+        if deadline is None:
+            deadline = self.config.default_deadline
+        try:
+            return classify_lane(
+                lane=lane,
+                deadline=deadline,
+                priority=priority,
+                lanes=self.scheduler.lane_order,
+                interactive_deadline=self.config.interactive_deadline,
+            )
+        except ValueError as exc:
+            raise SolverError(str(exc)) from None
+
     def degraded_reason(self) -> Optional[str]:
         """Why fresh solves are currently refused, or ``None`` when healthy.
 
@@ -397,11 +522,17 @@ class SolverService:
             self._pool_dead_since = None
         return None
 
-    def _admit_search(self, kind: str, order: int) -> None:
+    def _admit_search(
+        self, kind: str, order: int, lane: Optional[str] = None
+    ) -> None:
         """Gate one search-tier admission: degraded mode, then the breaker.
 
         Runs *after* the immediate tiers so degraded mode never refuses what
-        the store or a construction can still answer.
+        the store or a construction can still answer.  With QoS lanes
+        enabled, *reduced* capacity (some — not all — workers down) refuses
+        the background lane first, keeping the remaining workers for
+        interactive and batch traffic; full degradation refuses every lane
+        as before.
         """
         reason = self.degraded_reason()
         if reason is not None:
@@ -409,6 +540,16 @@ class SolverService:
                 f"service degraded ({reason}); fresh solves are refused",
                 retry_after=5.0,
             )
+        if lane == BACKGROUND and self.lanes is not None:
+            pool_stats = self.pool.stats()
+            alive = pool_stats["alive_workers"]
+            if pool_stats["started"] and 0 < alive < pool_stats["n_workers"]:
+                raise ServiceDegradedError(
+                    f"service degraded ({pool_stats['n_workers'] - alive} "
+                    "worker(s) down); background lane is refused first",
+                    retry_after=5.0,
+                    lane=lane,
+                )
         allowed, retry_after = self.breaker.allow((kind, int(order)))
         if not allowed:
             raise CircuitOpenError(
@@ -503,6 +644,8 @@ class SolverService:
         model_options: Optional[Mapping[str, Any]] = None,
         use_store: Optional[bool] = None,
         use_constructions: Optional[bool] = None,
+        lane: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> ServiceRequest:
         """Submit one solve request; returns immediately with a future.
 
@@ -543,13 +686,25 @@ class SolverService:
         :class:`~repro.service.faults.CircuitOpenError` (this ``(kind, n)``
         keeps failing) — both fail fast *after* the immediate tiers had their
         chance, so store and construction answers flow even then.
+
+        With QoS lanes enabled (``config.lanes``), the request is
+        *classified* first: an explicit ``lane`` wins, otherwise a tight
+        deadline or positive priority maps to ``interactive``, negative
+        priority to ``background``, the rest to ``batch``.  ``tenant``
+        (usually the ``X-Repro-Tenant`` header) selects the token bucket
+        charged for new jobs; an exhausted bucket raises
+        :class:`~repro.service.scheduler.SchedulerQuotaError` (HTTP 429).
+        Store/construction answers bypass classification entirely — cheap
+        requests never queue behind expensive fresh solves.
         """
         if self._closed:
             raise SolverError("service is closed")
         family, kind, specs = self._resolve_selection(order, kind, solver)
+        lane_name = self._classify(lane, deadline, priority)
+        tenant = tenant or DEFAULT_TENANT
         deadline_at = self._deadline_at(deadline)
         self.start()
-        request = self._new_request(order, kind)
+        request = self._new_request(order, kind, lane=lane_name, tenant=tenant)
         start = time.perf_counter()
         if self._try_immediate(
             request,
@@ -560,13 +715,19 @@ class SolverService:
         ):
             return request
         payload = self._search_payload(
-            kind, order, specs, max_time, model_options, deadline_at
+            kind, order, specs, max_time, model_options, deadline_at,
+            lane=lane_name, tenant=tenant,
         )
         key = self._instance_key(kind, order, payload)
         try:
-            self._admit_search(kind, order)
+            self._admit_search(kind, order, lane_name)
             ticket = self.scheduler.submit(
-                key, payload, priority=priority, deadline_at=deadline_at
+                key,
+                payload,
+                priority=priority,
+                deadline_at=deadline_at,
+                lane=lane_name,
+                tenant=tenant,
             )
         except ReproError:
             with self._lock:
@@ -586,6 +747,7 @@ class SolverService:
         items: Sequence[Mapping[str, Any]],
         *,
         priority: int = 0,
+        tenant: Optional[str] = None,
     ) -> List[Union[ServiceRequest, ReproError]]:
         """Submit many solve requests in **one** pass (``POST /solve-batch``).
 
@@ -608,6 +770,7 @@ class SolverService:
         if self._closed:
             raise SolverError("service is closed")
         self.start()
+        batch_tenant = tenant or DEFAULT_TENANT
         outcomes: List[Union[ServiceRequest, ReproError, None]] = [None] * len(items)
         # Identical instances inside one batch share a single store read /
         # construction call — part of the batch's amortisation.
@@ -637,7 +800,15 @@ class SolverService:
                 item_priority = int(item.get("priority", priority))
                 max_time = item.get("max_time")
                 max_time = float(max_time) if max_time is not None else None
-                deadline_at = self._deadline_at(item.get("deadline"))
+                item_deadline = item.get("deadline")
+                deadline_at = self._deadline_at(item_deadline)
+                item_lane = item.get("lane")
+                lane_name = self._classify(
+                    str(item_lane) if item_lane is not None else None,
+                    float(item_deadline) if item_deadline is not None else None,
+                    item_priority,
+                )
+                item_tenant = str(item.get("tenant") or batch_tenant)
                 model_options = item.get("model_options")
                 if model_options is not None and not isinstance(model_options, Mapping):
                     raise SolverError(
@@ -649,7 +820,7 @@ class SolverService:
             except (KeyError, TypeError, ValueError) as exc:
                 outcomes[index] = SolverError(f"invalid batch item {index}: {exc}")
                 continue
-            request = self._new_request(order, kind)
+            request = self._new_request(order, kind, lane=lane_name, tenant=item_tenant)
             start = time.perf_counter()
             if self._try_immediate(
                 request,
@@ -662,11 +833,12 @@ class SolverService:
                 outcomes[index] = request
                 continue
             payload = self._search_payload(
-                kind, order, specs, max_time, model_options, deadline_at
+                kind, order, specs, max_time, model_options, deadline_at,
+                lane=lane_name, tenant=item_tenant,
             )
             key = self._instance_key(kind, order, payload)
             try:
-                self._admit_search(kind, order)
+                self._admit_search(kind, order, lane_name)
             except ReproError as exc:
                 with self._lock:
                     self._requests.pop(request.request_id, None)
@@ -679,8 +851,15 @@ class SolverService:
             try:
                 tickets = self.scheduler.submit_batch(
                     [
-                        (key, payload, prio, deadline_at)
-                        for _, _, key, payload, prio, deadline_at, _ in queued
+                        (
+                            key,
+                            payload,
+                            prio,
+                            deadline_at,
+                            request.lane if self.lanes is not None else None,
+                            request.tenant,
+                        )
+                        for _, request, key, payload, prio, deadline_at, _ in queued
                     ]
                 )
             except RuntimeError:
@@ -741,12 +920,24 @@ class SolverService:
             self._kind_counter_locked(kind, "requests")
         return family, kind, specs
 
-    def _new_request(self, order: int, kind: str) -> ServiceRequest:
+    def _new_request(
+        self,
+        order: int,
+        kind: str,
+        *,
+        lane: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> ServiceRequest:
         """Register a fresh request handle (terminal events auto-published)."""
         request_id = f"r{next(self._req_counter)}"
         future: Future = Future()
         request = ServiceRequest(
-            request_id=request_id, order=order, kind=kind, future=future
+            request_id=request_id,
+            order=order,
+            kind=kind,
+            future=future,
+            lane=lane if lane is not None else DEFAULT_LANE,
+            tenant=tenant,
         )
         # Every terminal transition (result, failure, cancellation — from any
         # tier or from close()) flows through the future, so one callback
@@ -831,6 +1022,9 @@ class SolverService:
         max_time: Optional[float],
         model_options: Optional[Mapping[str, Any]],
         deadline_at: Optional[float] = None,
+        *,
+        lane: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Dict[str, Any]:
         """Tier-3 job payload.  A single-member portfolio travels as one spec
         dict; a real portfolio as a list the pool assigns round-robin.
@@ -838,7 +1032,9 @@ class SolverService:
         ``deadline_at`` rides in the payload (workers cap their budget with
         it) but is **not** part of the coalescing identity — two requests
         differing only in patience share one solve; the scheduler keeps the
-        job's deadline as the loosest of its tickets'.
+        job's deadline as the loosest of its tickets'.  ``lane``/``tenant``
+        likewise ride along for pool observability only (the dispatcher
+        refreshes the lane if a coalesced join promoted the job).
         """
         solver_payload = (
             specs[0].as_dict() if len(specs) == 1 else [s.as_dict() for s in specs]
@@ -853,6 +1049,8 @@ class SolverService:
             "model_options": dict(model_options) if model_options else {},
             "progress_interval": self.config.progress_interval,
             "population": max(1, int(self.config.population)),
+            "lane": lane if lane is not None else DEFAULT_LANE,
+            "tenant": tenant,
         }
 
     def _attach_ticket(
@@ -919,13 +1117,18 @@ class SolverService:
             if source == "store":
                 self._immediate["store"] += 1
             self._kind_counter_locked(request.kind, source if solved else "unsolved")
+        elapsed = time.perf_counter() - start
+        self._latency["overall"].record(elapsed)
+        lane_hist = self._latency.get(request.lane)
+        if lane_hist is not None and request.lane != "overall":
+            lane_hist.record(elapsed)
         response = ServiceResponse(
             order=request.order,
             kind=request.kind,
             solution=solution,
             source=source,
             solved=solved,
-            elapsed=time.perf_counter() - start,
+            elapsed=elapsed,
             request_id=request.request_id,
             detail=detail or {},
         )
@@ -958,13 +1161,26 @@ class SolverService:
 
     # ----------------------------------------------------------------- dispatch
     def _dispatch_loop(self) -> None:
-        """Move jobs from the scheduler onto the worker pool, slot-gated."""
+        """Move jobs from the scheduler onto the worker pool, slot-gated.
+
+        Lane-aware slot reservation: with QoS lanes enabled, once
+        non-interactive jobs hold all but one worker slot, the remaining
+        slot only accepts interactive work — a flooded batch/background
+        queue can saturate at most ``total_slots - 1`` workers, so an
+        interactive fresh solve always finds capacity within one job's
+        service time.
+        """
         while True:
             if not self._slots.acquire(timeout=0.2):
                 if self.scheduler.closed:
                     return
                 continue
-            job = self.scheduler.next_job(timeout=0.2)
+            only_lanes: Optional[Tuple[str, ...]] = None
+            if self._reserved_lanes is not None and self._total_slots > 1:
+                with self._lock:
+                    if self._nonint_permits >= self._total_slots - 1:
+                        only_lanes = self._reserved_lanes
+            job = self.scheduler.next_job(timeout=0.2, only_lanes=only_lanes)
             if job is None:
                 self._slots.release()
                 if self.scheduler.closed:
@@ -972,9 +1188,10 @@ class SolverService:
                 continue
             self._searches += 1
             # Late coalescers may have loosened the job's deadline since
-            # admission; the workers read the payload, so refresh it now that
-            # the job is leaving the scheduler.
+            # admission (or promoted its lane); the workers read the payload,
+            # so refresh it now that the job is leaving the scheduler.
             job.payload["deadline_at"] = job.deadline_at
+            job.payload["lane"] = job.lane
             # A heterogeneous portfolio needs one walk per member to actually
             # race; a larger walks_per_job fans each member out over seeds too.
             solver = job.payload.get("solver")
@@ -1026,6 +1243,8 @@ class SolverService:
             with self._lock:
                 self._job_handles[id(job)] = handle
                 self._job_permits[id(job)] = permits
+                if self._reserved_lanes is not None and job.lane != INTERACTIVE:
+                    self._nonint_permits += permits
             # A cancellation that landed between next_job() and the handle
             # registration above found nothing to abort; re-check now that
             # the handle is visible so the walk doesn't run (for up to its
@@ -1045,6 +1264,8 @@ class SolverService:
         with self._lock:
             self._job_handles.pop(id(job), None)
             permits = self._job_permits.pop(id(job), 1)
+            if self._reserved_lanes is not None and job.lane != INTERACTIVE:
+                self._nonint_permits -= permits
         for _ in range(permits):
             self._slots.release()
         breaker_key = (job.payload["kind"], int(job.payload["order"]))
@@ -1346,6 +1567,16 @@ class SolverService:
                 # solves by the strategy that actually won the race.
                 "requests": solver_requests,
                 "solved": solver_solves,
+            },
+            # Per-request service-time histograms (overall plus per lane
+            # when QoS lanes are enabled): count, mean/max, p50/p95/p99 ms.
+            "latency": {
+                name: hist.snapshot() for name, hist in self._latency.items()
+            },
+            "qos": {
+                "enabled": self.lanes is not None,
+                "lanes": list(self.scheduler.lane_order),
+                "quotas": self.quotas.snapshot() if self.quotas is not None else {},
             },
             "store": self.store.snapshot(),
             "scheduler": self.scheduler.stats(),

@@ -82,11 +82,22 @@ class CircuitOpenError(SolverError):
 
 
 class ServiceDegradedError(SolverError):
-    """The service is in degraded mode: immediate tiers only, no fresh solves."""
+    """The service is in degraded mode: immediate tiers only, no fresh solves.
 
-    def __init__(self, message: str, retry_after: float = 5.0) -> None:
+    ``lane`` scopes a *partial* refusal: with QoS lanes enabled, reduced
+    capacity (some workers down) refuses only the named lane — background
+    first — while full degradation refuses every lane (``lane is None``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float = 5.0,
+        lane: Optional[str] = None,
+    ) -> None:
         super().__init__(message)
         self.retry_after = max(0.0, float(retry_after))
+        self.lane = lane
 
 
 class DeadlineExceededError(SolverError):

@@ -16,7 +16,10 @@ Endpoints
     with ``{"request_id": ..., "status": "pending"}``.  A saturated queue
     answers ``503`` (backpressure made visible); an unknown solver or kind
     answers ``400``, as does a chunked request body (only ``Content-Length``
-    bodies are supported).
+    bodies are supported).  With QoS lanes enabled, optional ``lane`` /
+    ``tenant`` body fields (or the ``X-Repro-Tenant`` header) classify the
+    request; an exhausted tenant quota answers ``429`` and a shed request
+    ``503``, both with ``Retry-After``.
 ``GET /result/<request_id>``
     ``200`` with the result, ``202`` while pending, ``404`` for unknown ids,
     ``499``-style ``409`` for cancelled requests.
@@ -54,7 +57,11 @@ from repro.service.faults import (
     DeadlineExceededError,
     ServiceDegradedError,
 )
-from repro.service.scheduler import SchedulerSaturatedError
+from repro.service.scheduler import (
+    RequestSheddedError,
+    SchedulerQuotaError,
+    SchedulerSaturatedError,
+)
 
 __all__ = ["ServiceHTTPServer", "serve"]
 
@@ -135,6 +142,20 @@ class _Handler(BaseHTTPRequestHandler):
             headers={"Retry-After": str(seconds)},
         )
 
+    def _send_429(self, exc: SchedulerQuotaError) -> None:
+        """Per-tenant quota exhaustion: 429 with the token-bucket refill hint."""
+        seconds = max(1, int(round(exc.retry_after)))
+        self._send_json(
+            429,
+            {"error": str(exc), "retry": True, "retry_after": seconds},
+            headers={"Retry-After": str(seconds)},
+        )
+
+    def _tenant(self, payload: Dict[str, Any]) -> Optional[str]:
+        """Tenant identity: the body field wins over the X-Repro-Tenant header."""
+        tenant = payload.get("tenant") or self.headers.get("X-Repro-Tenant")
+        return str(tenant) if tenant else None
+
     # ---------------------------------------------------------------- routing
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
@@ -210,6 +231,7 @@ class _Handler(BaseHTTPRequestHandler):
         if model_options is not None and not isinstance(model_options, dict):
             self._send_json(400, {"error": "model_options must be an object"})
             return
+        lane = payload.get("lane")
         try:
             request = self.server.service.submit(
                 order,
@@ -221,9 +243,14 @@ class _Handler(BaseHTTPRequestHandler):
                 model_options=model_options,
                 use_store=payload.get("use_store"),
                 use_constructions=payload.get("use_constructions"),
+                lane=str(lane) if lane is not None else None,
+                tenant=self._tenant(payload),
             )
+        except SchedulerQuotaError as exc:
+            self._send_429(exc)
+            return
         except SchedulerSaturatedError as exc:
-            self._send_503(exc, 1.0)
+            self._send_503(exc, getattr(exc, "retry_after", 1.0))
             return
         except (CircuitOpenError, ServiceDegradedError) as exc:
             self._send_503(exc, exc.retry_after)
@@ -265,6 +292,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 504, {"request_id": request_id, "status": "deadline", "error": str(exc)}
             )
+            return
+        except RequestSheddedError as exc:
+            # A queued job failed while this client waited on it: the
+            # scheduler shed it to admit higher-value work.  Same 503 body
+            # shape as admission-time backpressure.
+            self._send_503(exc, exc.retry_after)
             return
         except ReproError as exc:
             self._send_json(500, {"request_id": request_id, "error": str(exc)})

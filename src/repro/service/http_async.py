@@ -67,7 +67,11 @@ from repro.service.faults import (
     ServiceDegradedError,
 )
 from repro.service.http import _MAX_WAIT_SECONDS, _family_listing
-from repro.service.scheduler import SchedulerSaturatedError
+from repro.service.scheduler import (
+    RequestSheddedError,
+    SchedulerQuotaError,
+    SchedulerSaturatedError,
+)
 
 __all__ = ["AsyncServiceHTTPServer", "serve_async"]
 
@@ -343,11 +347,18 @@ class AsyncServiceHTTPServer:
         return head.encode("latin-1") + body
 
     @staticmethod
-    def _reject(exc: BaseException, retry_after: float) -> Tuple[Any, ...]:
-        """One shape for every backpressure/degraded/breaker rejection."""
+    def _reject(
+        exc: BaseException, retry_after: float, status: int = 503
+    ) -> Tuple[Any, ...]:
+        """One shape for every backpressure/degraded/breaker rejection.
+
+        Quota rejections reuse the body shape under a 429 status so clients
+        can tell "the server is full" (503) from "you are over your quota"
+        (429) without learning a second schema.
+        """
         seconds = max(1, int(round(retry_after)))
         return (
-            503,
+            status,
             {"error": str(exc), "retry": True, "retry_after": seconds},
             False,
             {"Retry-After": str(seconds)},
@@ -481,6 +492,8 @@ class AsyncServiceHTTPServer:
         model_options = payload.get("model_options")
         if model_options is not None and not isinstance(model_options, dict):
             return 400, {"error": "model_options must be an object"}, False
+        lane = payload.get("lane")
+        tenant = payload.get("tenant") or request.headers.get("x-repro-tenant")
         try:
             service_request: ServiceRequest = await self._call(
                 lambda: self.service.submit(
@@ -493,10 +506,14 @@ class AsyncServiceHTTPServer:
                     model_options=model_options,
                     use_store=payload.get("use_store"),
                     use_constructions=payload.get("use_constructions"),
+                    lane=str(lane) if lane is not None else None,
+                    tenant=str(tenant) if tenant is not None else None,
                 )
             )
+        except SchedulerQuotaError as exc:
+            return self._reject(exc, exc.retry_after, status=429)
         except SchedulerSaturatedError as exc:
-            return self._reject(exc, 1.0)
+            return self._reject(exc, getattr(exc, "retry_after", 1.0))
         except (CircuitOpenError, ServiceDegradedError) as exc:
             return self._reject(exc, exc.retry_after)
         except DeadlineExceededError as exc:
@@ -537,6 +554,8 @@ class AsyncServiceHTTPServer:
                 },
                 False,
             )
+        except RequestSheddedError as exc:
+            return self._reject(exc, exc.retry_after)
         except ReproError as exc:
             return 500, {"request_id": request_id, "error": str(exc)}, False
         return 200, {"status": "done", **response.as_dict()}, False
@@ -606,9 +625,16 @@ class AsyncServiceHTTPServer:
             priority = int(payload.get("priority", 0))
         except (TypeError, ValueError):
             return 400, {"error": "priority must be numeric"}, False
+        batch_tenant = payload.get("tenant") or request.headers.get(
+            "x-repro-tenant"
+        )
         try:
             outcomes = await self._call(
-                lambda: self.service.submit_batch(items, priority=priority)
+                lambda: self.service.submit_batch(
+                    items,
+                    priority=priority,
+                    tenant=str(batch_tenant) if batch_tenant is not None else None,
+                )
             )
         except ReproError as exc:
             return 400, {"error": str(exc)}, False
@@ -640,12 +666,26 @@ class AsyncServiceHTTPServer:
         """One slot of the batch response, mirroring /solve's shapes."""
         if isinstance(
             outcome,
-            (SchedulerSaturatedError, CircuitOpenError, ServiceDegradedError),
+            (
+                SchedulerSaturatedError,
+                RequestSheddedError,
+                CircuitOpenError,
+                ServiceDegradedError,
+            ),
         ):
             seconds = max(1, int(round(getattr(outcome, "retry_after", 1.0))))
             return {
                 "status": "error",
                 "code": 503,
+                "error": str(outcome),
+                "retry": True,
+                "retry_after": seconds,
+            }
+        if isinstance(outcome, SchedulerQuotaError):
+            seconds = max(1, int(round(outcome.retry_after)))
+            return {
+                "status": "error",
+                "code": 429,
                 "error": str(outcome),
                 "retry": True,
                 "retry_after": seconds,

@@ -36,9 +36,10 @@ import os
 import sqlite3
 import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -93,12 +94,19 @@ def _is_transient(exc: BaseException) -> bool:
 
 @dataclass
 class StoreStats:
-    """Counters of one :class:`SolutionStore` instance (not the whole file)."""
+    """Counters of one :class:`SolutionStore` instance (not the whole file).
+
+    ``hits`` counts every answered read (cache or disk); ``cache_hits``
+    is the subset served from the in-process LRU tier without touching
+    SQLite, and ``cache_evictions`` counts entries dropped at capacity.
+    """
 
     hits: int = 0
     misses: int = 0
     inserts: int = 0
     duplicates: int = 0
+    cache_hits: int = 0
+    cache_evictions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -130,6 +138,15 @@ class SolutionStore:
     retry:
         Backoff policy for transient sqlite errors (locked database, disk
         I/O); defaults to three attempts with short exponential delays.
+    cache_size:
+        Entries in the in-process bounded LRU read-through cache keyed by
+        ``(kind, n)`` (``0`` disables it, the default).  Hot keys skip
+        SQLite entirely: the cached array is returned as-is (marked
+        read-only, so the hot path allocates nothing) and the per-row
+        persistent hit counter is *not* bumped — cache hits are visible as
+        ``cache_hits`` in the instance stats instead.  Only positive
+        entries are cached (a miss always goes to disk), so a cache in one
+        process can never hide rows another process just inserted.
 
     Failure policy
     --------------
@@ -150,11 +167,15 @@ class SolutionStore:
         validate: bool = True,
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
+        cache_size: int = 0,
     ) -> None:
         self.path = str(path)
         self.validate = validate
         self.stats = StoreStats()
         self._stats_lock = threading.Lock()
+        self.cache_size = max(0, int(cache_size))
+        self._cache: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        self._cache_lock = threading.Lock()
         self._faults = faults
         self._retry = retry if retry is not None else RetryPolicy()
         self._quarantined: Optional[str] = None
@@ -324,6 +345,34 @@ class SolutionStore:
             "path": self.path,
         }
 
+    # ------------------------------------------------------------------ cache
+    def _cache_get(self, key: Tuple[str, int]) -> Optional[np.ndarray]:
+        """LRU lookup; the returned array is shared and read-only."""
+        if self.cache_size <= 0:
+            return None
+        with self._cache_lock:
+            value = self._cache.get(key)
+            if value is not None:
+                self._cache.move_to_end(key)
+            return value
+
+    def _cache_put(self, key: Tuple[str, int], arr: np.ndarray) -> None:
+        """Write-through: remember *arr* for *key*, evicting the coldest."""
+        if self.cache_size <= 0:
+            return
+        value = np.array(arr, dtype=np.int64)
+        value.setflags(write=False)
+        evicted = 0
+        with self._cache_lock:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                evicted += 1
+        if evicted:
+            with self._stats_lock:
+                self.stats.cache_evictions += evicted
+
     # ------------------------------------------------------------- operations
     @staticmethod
     def _family(problem_kind: str) -> ProblemFamily:
@@ -379,6 +428,9 @@ class SolutionStore:
         )
         if inserted is None:
             return False  # quarantined: persistence is disabled, not fatal
+        # Write-through: the validated array answers (kind, n) from the LRU
+        # tier from now on, whether or not its class row was new.
+        self._cache_put((family.name, int(arr.size)), arr)
         with self._stats_lock:
             if inserted:
                 self.stats.inserts += 1
@@ -402,8 +454,22 @@ class SolutionStore:
         aligned with its ``symmetry.element_names`` (for Costas that is
         :data:`repro.costas.symmetry.SYMMETRY_NAMES`), so only transforms
         valid for the family are ever applied.
+
+        With a cache configured, a hot ``(kind, n)`` answers from the
+        in-process LRU without touching SQLite (variants expand from the
+        cached base); only positive entries are cached, so a miss here is
+        always a real disk read.
         """
         family = self._family(problem_kind)
+        cache_key = (family.name, int(n))
+        cached = self._cache_get(cache_key)
+        if cached is not None:
+            with self._stats_lock:
+                self.stats.hits += 1
+                self.stats.cache_hits += 1
+            if variant is None:
+                return cached
+            return family.symmetry.variant(np.array(cached), variant)
 
         def read() -> Optional[tuple]:
             with self._borrow() as conn:
@@ -432,6 +498,7 @@ class SolutionStore:
         if row is None:
             return None
         solution = _decode(row[1])
+        self._cache_put(cache_key, solution)
         if variant is None:
             return solution
         return family.symmetry.variant(solution, variant)
@@ -507,8 +574,11 @@ class SolutionStore:
         with self._stats_lock:
             counters = self.stats.as_dict()
             quarantined = self._quarantined
+        with self._cache_lock:
+            cache_entries = len(self._cache)
         return {
             "path": self.path,
+            "cache": {"entries": cache_entries, "capacity": self.cache_size},
             "stored_classes": int(rows),
             "persistent_hits": int(total_hits),
             "by_kind": {

@@ -346,6 +346,9 @@ class WorkerPool:
         self._closing = False
         self._jobs_done = 0
         self._walks_run = 0
+        #: Monotonic walks submitted per QoS lane (specs without a lane —
+        #: direct pool users — count under "default").
+        self._walks_by_lane: Dict[str, int] = {}
         self._workers_respawned = 0
         self._walks_requeued = 0
         self._hung_terminated = 0
@@ -437,6 +440,8 @@ class WorkerPool:
                 submitted_at=time.perf_counter(),
             )
             self._jobs[job_id] = handle
+            lane = str(spec.get("lane") or "default")
+            self._walks_by_lane[lane] = self._walks_by_lane.get(lane, 0) + walks
             for walk_index in range(walks):
                 self._job_queue.put((job_id, walk_index, self._walk_spec(handle, walk_index)))
                 self._walks_run += 1
@@ -756,13 +761,19 @@ class WorkerPool:
     # ------------------------------------------------------------------- stats
     def stats(self) -> Dict[str, Any]:
         with self._lock:
+            inflight_by_lane: Dict[str, int] = {}
+            for handle in self._jobs.values():
+                lane = str(handle.spec.get("lane") or "default")
+                inflight_by_lane[lane] = inflight_by_lane.get(lane, 0) + 1
             return {
                 "n_workers": self.n_workers,
                 "started": self._started,
                 "alive_workers": sum(1 for p in self._procs if p.is_alive()),
                 "inflight_jobs": len(self._jobs),
+                "inflight_by_lane": inflight_by_lane,
                 "jobs_done": self._jobs_done,
                 "walks_run": self._walks_run,
+                "walks_by_lane": dict(self._walks_by_lane),
                 "workers_respawned": self._workers_respawned,
                 "walks_requeued": self._walks_requeued,
                 "hung_walks_terminated": self._hung_terminated,

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import CancelledError
 
 import pytest
 
+from repro.service.faults import DeadlineExceededError
 from repro.service.scheduler import (
     RequestScheduler,
     SchedulerSaturatedError,
@@ -311,3 +313,97 @@ class TestBatchSubmit:
         sched.close()
         with pytest.raises(RuntimeError):
             sched.submit_batch(self._entries([18]))
+
+
+class TestBatchMixedDeadlines:
+    """Pin the loosest-deadline rule for coalesced batch items.
+
+    The job's deadline is the loosest of its tickets': a later joiner's
+    tighter patience must never cut short an earlier joiner's budget, one
+    unbounded join makes the job unbounded, and the rule composes with the
+    priority bump (both act on the same coalesced join).
+    """
+
+    @staticmethod
+    def _entry(order, priority=0, deadline_at=None):
+        return (("costas", order), {"order": order}, priority, deadline_at)
+
+    def test_batch_join_takes_the_loosest_deadline(self):
+        sched = RequestScheduler()
+        now = time.time()
+        first = sched.submit(
+            ("costas", 18), {"order": 18}, deadline_at=now + 100.0
+        )
+        outcomes = sched.submit_batch(
+            [
+                self._entry(18, deadline_at=now + 5.0),  # tighter: ignored
+                self._entry(18, deadline_at=now + 500.0),  # looser: wins
+            ]
+        )
+        assert all(isinstance(t, Ticket) for t in outcomes)
+        assert outcomes[0].job is first.job
+        assert first.job.deadline_at == pytest.approx(now + 500.0)
+
+    def test_batch_unbounded_join_clears_the_deadline(self):
+        sched = RequestScheduler()
+        now = time.time()
+        first = sched.submit(
+            ("costas", 18), {"order": 18}, deadline_at=now + 5.0
+        )
+        sched.submit_batch([self._entry(18, deadline_at=None)])
+        assert first.job.deadline_at is None
+        # A later bounded join cannot re-tighten an unbounded job.
+        sched.submit_batch([self._entry(18, deadline_at=now + 1.0)])
+        assert first.job.deadline_at is None
+
+    def test_batch_mixed_deadlines_across_distinct_keys(self):
+        sched = RequestScheduler()
+        now = time.time()
+        outcomes = sched.submit_batch(
+            [
+                self._entry(18, deadline_at=now + 10.0),
+                self._entry(19, deadline_at=None),
+                self._entry(18, deadline_at=now + 60.0),
+            ]
+        )
+        job18, job19 = outcomes[0].job, outcomes[1].job
+        assert outcomes[2].job is job18
+        assert job18.deadline_at == pytest.approx(now + 60.0)
+        assert job19.deadline_at is None
+
+    def test_deadline_loosening_and_priority_bump_compose(self):
+        sched = RequestScheduler()
+        now = time.time()
+        low = sched.submit(
+            ("costas", 18), {"order": 18}, priority=0, deadline_at=now + 5.0
+        )
+        sched.submit(("costas", 19), {"order": 19}, priority=5)
+        # One batch join both bumps the priority and loosens the deadline.
+        sched.submit_batch([self._entry(18, priority=9, deadline_at=now + 500.0)])
+        assert low.job.priority == 9
+        assert low.job.deadline_at == pytest.approx(now + 500.0)
+        # The bump wins the next pop, and the stale low-priority heap entry
+        # is skipped rather than double-popping the job.
+        assert sched.next_job(timeout=0) is low.job
+        second = sched.next_job(timeout=0)
+        assert second is not None and second.payload["order"] == 19
+        assert sched.next_job(timeout=0) is None
+
+    def test_expired_batch_job_fails_at_pop_with_loosest_rule_applied(self):
+        sched = RequestScheduler()
+        now = time.time()
+        # Both tickets carry already-passed deadlines; the job expires at
+        # pop time and every coalesced ticket sees DeadlineExceededError.
+        outcomes = sched.submit_batch(
+            [
+                self._entry(18, deadline_at=now - 10.0),
+                self._entry(18, deadline_at=now - 5.0),
+            ]
+        )
+        assert outcomes[1].job is outcomes[0].job
+        assert sched.next_job(timeout=0) is None
+        with pytest.raises(DeadlineExceededError):
+            outcomes[0].result(timeout=1)
+        with pytest.raises(DeadlineExceededError):
+            outcomes[1].result(timeout=1)
+        assert sched.stats()["expired"] == 1

@@ -147,7 +147,10 @@ class CPBacktrackingSolver:
         :func:`repro.costas.enumeration.count_costas_arrays`.
         """
         p = params if params is not None else self.params
-        state = _SearchState(order, p, ensure_generator(None), time.perf_counter())
+        # The exhaustive count visits every branch regardless of value
+        # order, so the generator never influences the result — but it must
+        # still be seeded: counting runs are bit-for-bit reproducible.
+        state = _SearchState(order, p, ensure_generator(0), time.perf_counter())
         return state.count_all()
 
 

@@ -27,6 +27,13 @@ Commands
     the asyncio server (``POST /solve-batch``, ``GET /events/<id>`` progress
     streaming, thousands of concurrent waiting clients); ``--sync`` selects
     the legacy thread-per-connection server.
+``repro lint``
+    Project-invariant static analysis: lock ordering / blocking-while-locked
+    in the service layer, seeded determinism in the solver core, async
+    safety in the event-loop front-end, C-kernel vs ctypes vs Python-mirror
+    drift, and the 429/503/504 retry contract.  Checks the whole tree
+    against the committed ``lint-baseline.txt`` (only *new* findings fail);
+    ``--json`` and ``--rule`` narrow the output.
 ``repro request N [N ...]``
     Submit solve requests to a running ``repro serve`` instance; with
     ``--batch`` all orders travel in one ``POST /solve-batch`` body (one
@@ -239,6 +246,68 @@ def build_parser() -> argparse.ArgumentParser:
         "aborting what remains",
     )
     p_serve.add_argument("--quiet", action="store_true", help="suppress per-request logging")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static-analysis suite for the project's concurrency, "
+        "determinism, async, kernel-drift and HTTP-contract invariants",
+        description=(
+            "Run the project-invariant static-analysis suite.  Rules: "
+            "lock-order (lock-acquisition cycles), lock-blocking (blocking "
+            "work while a lock is held), unseeded-random (entropy outside "
+            "core.rng seeded generators), async-blocking (blocking calls on "
+            "the event loop), kernel-drift (C prototypes vs ctypes "
+            "signatures), rng-drift (C vs Python-mirror RNG constants), "
+            "http-retry-contract (429/503/504 without Retry-After + retry "
+            "body), bad-suppression (ignore comment missing its "
+            "justification).  Findings print as 'file:line rule-id "
+            "message'.  Suppress a finding only with an inline "
+            "'# repro-lint: ignore[rule-id] -- <justification>' comment; "
+            "the justification is mandatory.  Without paths the whole tree "
+            "is checked against the committed lint-baseline.txt, so only "
+            "NEW findings fail the run."
+        ),
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="path",
+        help="specific .py files to check (default: the whole repo tree "
+        "against the committed baseline)",
+    )
+    p_lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE",
+        help="only run/report the given rule id (repeatable, or "
+        "comma-separated)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true", help="machine-readable findings output"
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file to compare against (default: lint-baseline.txt "
+        "at the repo root)",
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the committed baseline",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file",
+    )
+    p_lint.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repository root to lint (default: auto-detected)",
+    )
 
     p_req = sub.add_parser("request", help="submit one request to a running server")
     p_req.add_argument(
@@ -758,6 +827,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.runner import run_cli
+
+    return run_cli(args)
+
+
 def _cmd_request(args: argparse.Namespace) -> int:
     import http.client
     import random
@@ -936,6 +1011,7 @@ _DISPATCH = {
     "solvers": _cmd_solvers,
     "problems": _cmd_problems,
     "serve": _cmd_serve,
+    "lint": _cmd_lint,
     "request": _cmd_request,
 }
 

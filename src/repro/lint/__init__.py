@@ -1,0 +1,21 @@
+"""Project-invariant static analysis (``repro lint``).
+
+Five AST/text checkers machine-check the invariants the codebase otherwise
+enforces only by convention: lock ordering and blocking-while-locked in the
+service layer, seeded-determinism in the solver core, async-safety in the
+asyncio front-end, C-kernel/ctypes/Python-mirror agreement, and the HTTP
+retry contract.  See :mod:`repro.lint.runner` for the driver and
+:data:`repro.lint.runner.RULES` for the rule registry.
+"""
+
+from .findings import Finding, apply_suppressions
+from .runner import RULES, LintResult, repo_root, run
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "apply_suppressions",
+    "repo_root",
+    "run",
+]

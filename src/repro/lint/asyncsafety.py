@@ -1,0 +1,144 @@
+"""Async-safety lint: coroutines must not call into the blocking core.
+
+Rule ``async-blocking``.  The asyncio front-end runs every connection on one
+event loop; a single blocking call stalls them all.  The service facade
+(``self.service.*``) is the blocking surface — it takes locks, waits on
+futures and touches SQLite — so inside a coroutine every call rooted at
+``self.service`` must travel through the executor hop
+(``await self._call(fn, *args)`` / ``loop.run_in_executor``), which passes
+the *function* and never calls it on the loop.  Blocking primitives
+(``time.sleep``, thread joins, ``future.result``, SQLite commits, ``open``)
+are flagged the same way.
+
+Lambdas and nested ``def``s are skipped: the executor idiom is
+``await self._call(lambda: self.service.submit(...))``, where the lambda
+body runs on the executor thread, not the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .findings import Finding
+
+__all__ = ["check_source"]
+
+
+def _attr_chain(node: ast.expr) -> Optional[List[str]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _is_timeout_style_args(call: ast.Call) -> bool:
+    if call.keywords:
+        return all(kw.arg == "timeout" for kw in call.keywords) and len(call.args) == 0
+    if len(call.args) == 0:
+        return True
+    if len(call.args) == 1:
+        arg = call.args[0]
+        return isinstance(arg, ast.Constant) and isinstance(arg.value, (int, float))
+    return False
+
+
+class _CoroutineWalk(ast.NodeVisitor):
+    """Walk one coroutine body; deferred bodies (lambda/def) are skipped."""
+
+    def __init__(self, path: str, coroutine: str) -> None:
+        self.path = path
+        self.coroutine = coroutine
+        self.findings: List[Finding] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                self.path,
+                getattr(node, "lineno", 0),
+                "async-blocking",
+                f"coroutine {self.coroutine}: {message}",
+            )
+        )
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # runs later (typically on the executor), not on the loop
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass  # nested coroutines are visited as their own root
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain is not None:
+            if len(chain) >= 3 and chain[0] == "self" and chain[1] == "service":
+                self._flag(
+                    node,
+                    f"blocking service call {'.'.join(chain)}() on the event "
+                    "loop; route it through await self._call(...)",
+                )
+            elif chain == ["time", "sleep"] or chain == ["sleep"]:
+                self._flag(
+                    node,
+                    "time.sleep() stalls the event loop; use asyncio.sleep "
+                    "or the executor",
+                )
+            elif chain[-1] == "commit":
+                self._flag(
+                    node,
+                    "SQLite commit on the event loop; route it through "
+                    "await self._call(...)",
+                )
+            elif (
+                chain[-1] == "join"
+                and len(chain) >= 2
+                and _is_timeout_style_args(node)
+            ):
+                self._flag(
+                    node,
+                    f"{'.'.join(chain)}() joins a thread/process on the "
+                    "event loop; route it through await self._call(...)",
+                )
+            elif (
+                chain[-1] == "result"
+                and len(chain) >= 2
+                and _is_timeout_style_args(node)
+            ):
+                self._flag(
+                    node,
+                    f"{'.'.join(chain)}() waits for a future on the event "
+                    "loop; await asyncio.wrap_future(...) instead",
+                )
+            elif chain == ["open"]:
+                self._flag(
+                    node,
+                    "blocking file I/O on the event loop; route it through "
+                    "await self._call(...)",
+                )
+        self.generic_visit(node)
+
+
+def check_source(source: str, path: str) -> List[Finding]:
+    """Run the async-safety lint over one module's source."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path, exc.lineno or 0, "async-blocking", f"unparseable: {exc.msg}"
+            )
+        ]
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            walk = _CoroutineWalk(path, node.name)
+            for stmt in node.body:
+                walk.visit(stmt)
+            findings.extend(walk.findings)
+    return sorted(findings, key=lambda f: (f.line, f.message))

@@ -1,0 +1,154 @@
+"""Determinism lint: every entropy source must be a seeded generator.
+
+Rule ``unseeded-random``.  The paper's results are reproducible because each
+RNG draw is accounted for: all entropy flows through ``core/rng.py``
+(``ensure_generator`` / ``spawn_generators`` / ``derive_seed`` over NumPy
+``SeedSequence`` streams).  Under ``core/``, ``models/``, ``baselines/`` and
+``parallel/`` this checker therefore forbids:
+
+* ``random.*`` module functions (hidden process-global state) and unseeded
+  ``random.Random()`` / any ``random.SystemRandom()``;
+* NumPy legacy global state (``np.random.seed`` / ``np.random.rand`` / ...)
+  and ``np.random.RandomState``;
+* unseeded stream constructors: ``default_rng()`` / ``default_rng(None)``,
+  ``SeedSequence()`` / ``SeedSequence(None)``, ``ensure_generator(None)`` —
+  each of these pulls fresh OS entropy;
+* ``time.time()`` — wall-clock values leak into seeds and run records; use
+  ``time.perf_counter`` for durations and ``derive_seed`` for seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .findings import Finding
+
+__all__ = ["check_source"]
+
+#: ``np.random.X`` legacy attrs that are allowed (object/stream types that
+#: take an explicit seed; unseeded *calls* are caught separately).
+_NP_RANDOM_OK = {"Generator", "SeedSequence", "default_rng", "BitGenerator",
+                 "PCG64", "Philox", "SFC64", "MT19937"}
+
+#: Constructors where a missing / literal-``None`` seed argument means
+#: "fresh OS entropy".
+_SEEDED_CONSTRUCTORS = {"default_rng", "SeedSequence", "ensure_generator",
+                        "Random"}
+
+
+def _attr_chain(node: ast.expr) -> Optional[List[str]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _first_seed_is_missing_or_none(call: ast.Call) -> bool:
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for kw in call.keywords:
+        if kw.arg in ("seed", "entropy", "x"):
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+    return True
+
+
+class _Walk(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, getattr(node, "lineno", 0), "unseeded-random", message)
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain:
+            self._check_chain(node, chain)
+        self.generic_visit(node)
+
+    def _check_chain(self, node: ast.Call, chain: List[str]) -> None:
+        # random.<fn>(...) — module-global state or OS entropy.
+        if len(chain) == 2 and chain[0] == "random":
+            fn = chain[1]
+            if fn == "Random":
+                if _first_seed_is_missing_or_none(node):
+                    self._flag(
+                        node,
+                        "random.Random() without an explicit seed draws OS "
+                        "entropy; derive the seed via core.rng",
+                    )
+            elif fn == "SystemRandom":
+                self._flag(
+                    node,
+                    "random.SystemRandom() is nondeterministic by design; "
+                    "use a seeded generator from core.rng",
+                )
+            else:
+                self._flag(
+                    node,
+                    f"random.{fn}() uses the process-global random state; "
+                    "use a seeded generator from core.rng",
+                )
+            return
+        # np.random.<fn>(...) / numpy.random.<fn>(...)
+        if len(chain) == 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+            fn = chain[2]
+            if fn == "RandomState":
+                self._flag(
+                    node,
+                    "np.random.RandomState is legacy global-state API; use "
+                    "np.random.default_rng with an explicit seed",
+                )
+                return
+            if fn not in _NP_RANDOM_OK:
+                self._flag(
+                    node,
+                    f"np.random.{fn}() uses NumPy's legacy global state; "
+                    "use a seeded Generator from core.rng",
+                )
+                return
+            # fall through: seeded-constructor check below
+        # time.time() — wall-clock entropy.
+        if chain == ["time", "time"]:
+            self._flag(
+                node,
+                "time.time() leaks wall-clock into seeds/records; use "
+                "time.perf_counter for durations, core.rng.derive_seed for seeds",
+            )
+            return
+        # Unseeded stream constructors, however they are spelled.
+        tail = chain[-1]
+        if tail in _SEEDED_CONSTRUCTORS and _first_seed_is_missing_or_none(node):
+            # Bare Random() (no module) is too ambiguous to flag; require
+            # the random.Random spelling handled above.
+            if tail == "Random" and len(chain) == 1:
+                return
+            self._flag(
+                node,
+                f"{'.'.join(chain)}({'None' if node.args else ''}) creates an "
+                "unseeded generator (fresh OS entropy); pass an explicit "
+                "seed derived via core.rng",
+            )
+
+
+def check_source(source: str, path: str) -> List[Finding]:
+    """Run the determinism lint over one module's source."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path, exc.lineno or 0, "unseeded-random", f"unparseable: {exc.msg}"
+            )
+        ]
+    walk = _Walk(path)
+    walk.visit(tree)
+    return sorted(walk.findings, key=lambda f: (f.line, f.message))

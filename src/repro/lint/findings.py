@@ -1,0 +1,205 @@
+"""Finding, suppression, and baseline plumbing shared by every checker.
+
+A *finding* is one violated project invariant: ``file:line rule-id message``.
+Checkers produce findings; this module decides which of them the developer
+has already answered for, through exactly two sanctioned channels:
+
+* an **inline suppression** — ``# repro-lint: ignore[rule-id] -- <why>`` on
+  the offending line (or on a comment line directly above it).  The
+  justification after ``--`` is mandatory: a bare ignore is itself reported
+  as a ``bad-suppression`` finding, so silencing a rule always costs one
+  written sentence of explanation;
+* the **committed baseline** (``lint-baseline.txt`` at the repo root) —
+  pre-existing debt recorded as ``path|rule|message`` lines.  Baselined
+  findings do not fail the run, but *new* ones do, so CI only ever ratchets
+  forward.  Baseline keys carry no line numbers: unrelated edits that shift
+  a known finding must not break the build.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "SUPPRESS_RE",
+    "apply_suppressions",
+    "load_baseline",
+    "partition_against_baseline",
+    "render_baseline",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str  #: repo-relative posix path (or the literal path it was given)
+    line: int  #: 1-based line of the violation (0 = whole-file finding)
+    rule: str  #: rule identifier, e.g. ``lock-blocking``
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+    def baseline_key(self) -> str:
+        """Line-number-free identity used for baseline matching."""
+        return f"{self.path}|{self.rule}|{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+#: ``# repro-lint: ignore[rule-id] -- justification`` (justification optional
+#: in the grammar so a missing one can be *reported* rather than ignored).
+SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<rules>[a-z0-9_,\- ]+)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass
+class _Suppression:
+    line: int
+    rules: Tuple[str, ...]
+    justified: bool
+    used: bool = field(default=False)
+
+
+def _collect_suppressions(source: str) -> List[_Suppression]:
+    found: List[_Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        found.append(
+            _Suppression(line=lineno, rules=rules, justified=bool(match.group("why")))
+        )
+    return found
+
+
+def _covering(
+    suppressions: Sequence[_Suppression], source_lines: Sequence[str], finding: Finding
+) -> Optional[_Suppression]:
+    """The suppression covering *finding*, if any.
+
+    A directive covers its own line, and — when it sits on a comment-only
+    line — every following comment line plus the first code line below the
+    comment block (the natural "explain above the statement" style).
+    """
+    by_line = {sup.line: sup for sup in suppressions}
+    direct = by_line.get(finding.line)
+    if direct is not None and finding.rule in direct.rules:
+        return direct
+    # Walk upward through the contiguous comment block above the finding.
+    probe = finding.line - 1
+    while probe >= 1 and source_lines[probe - 1].lstrip().startswith("#"):
+        above = by_line.get(probe)
+        if above is not None and finding.rule in above.rules:
+            return above
+        probe -= 1
+    return None
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], source: str
+) -> List[Finding]:
+    """Filter *findings* through the inline suppressions in *source*.
+
+    Suppressed-with-justification findings are dropped.  A matching directive
+    with no ``-- justification`` does *not* suppress; it earns an extra
+    ``bad-suppression`` finding so the omission is loud.
+    """
+    suppressions = _collect_suppressions(source)
+    lines = source.splitlines()
+    kept: List[Finding] = []
+    complaints: List[Finding] = []
+    complained_at = set()
+    for finding in findings:
+        sup = _covering(suppressions, lines, finding)
+        if sup is None:
+            kept.append(finding)
+            continue
+        sup.used = True
+        if sup.justified:
+            continue
+        kept.append(finding)
+        if sup.line not in complained_at:
+            complained_at.add(sup.line)
+            complaints.append(
+                Finding(
+                    path=finding.path,
+                    line=sup.line,
+                    rule="bad-suppression",
+                    message=(
+                        "suppression needs a justification: "
+                        "# repro-lint: ignore[rule] -- <why>"
+                    ),
+                )
+            )
+    return kept + complaints
+
+
+# ------------------------------------------------------------------ baseline
+
+def load_baseline(path: Path) -> List[str]:
+    """Baseline keys from *path* (missing file = empty baseline)."""
+    if not path.exists():
+        return []
+    keys: List[str] = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        keys.append(line)
+    return keys
+
+
+def partition_against_baseline(
+    findings: Sequence[Finding], baseline_keys: Sequence[str]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split into (new, baselined, stale-baseline-keys).
+
+    Matching is multiset-aware: two identical findings need two baseline
+    entries, so duplicating a known-bad pattern still fails CI.
+    """
+    budget: Dict[str, int] = {}
+    for key in baseline_keys:
+        budget[key] = budget.get(key, 0) + 1
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = [key for key, count in budget.items() for _ in range(count)]
+    return new, baselined, stale
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialise *findings* as a fresh baseline file body."""
+    header = (
+        "# repro lint baseline - accepted pre-existing findings.\n"
+        "# One `path|rule|message` key per line; `repro lint` fails only on\n"
+        "# findings NOT listed here.  Regenerate with `repro lint "
+        "--write-baseline`\n"
+        "# only after deciding each new finding is genuinely acceptable.\n"
+    )
+    body = "".join(
+        key + "\n" for key in sorted(f.baseline_key() for f in findings)
+    )
+    return header + body

@@ -1,0 +1,378 @@
+"""Kernel-mirror drift checker: C kernels vs ctypes bindings vs Python mirror.
+
+The compiled walk engine lives three times: the C source
+(``core/_kernels.c``), the ctypes declarations that call into it
+(``core/_ckernels.py`` ``_SIGNATURES``), and the line-for-line Python mirror
+that pins the RNG bit-exact (``core/cwalk_mirror.py``).  Silent skew between
+them is memory corruption (wrong argtypes) or a broken reproducibility
+guarantee (wrong RNG constants), so this checker cross-checks:
+
+``kernel-drift``
+    Every non-``static`` function defined in ``_kernels.c`` must have a
+    ``_SIGNATURES`` entry (and vice versa) with matching arity, per-argument
+    kind (integer scalar / double scalar / pointer) and return type.
+``rng-drift``
+    The xoshiro256** constants must agree between the C RNG
+    (``wk_splitmix64`` / ``wk_next`` / ``wk_below`` / ``wk_double``) and the
+    mirror (``Xoshiro256._splitmix64`` / ``next_u64`` / ``random``): the
+    three splitmix64 mixing constants, the rotation/shift/multiplier set,
+    and the 2^53 double divisor.
+
+No compiler is needed: both sides are parsed as text/AST, so the check runs
+in the same place as the other lint rules (and in the ``kernel-sanitize``
+CI job, where a drift would otherwise surface as an ASan crash at best).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["check_files", "parse_c_exports", "parse_ctypes_signatures"]
+
+# One exported (non-static) C definition: return type, name, params, body {.
+_C_EXPORT_RE = re.compile(
+    r"^(?P<ret>void|i64|u64|double|int64_t)\s+(?P<name>\w+)\s*"
+    r"\((?P<params>[^)]*)\)\s*\{",
+    re.MULTILINE,
+)
+
+_INT_RE = re.compile(r"0[xX][0-9a-fA-F]+|\b\d+\b")
+_FLOAT_RE = re.compile(r"\b\d+\.\d+(?:[eE][+-]?\d+)?\b")
+
+
+def _c_arg_kind(token: str) -> str:
+    if "*" in token:
+        return "ptr"
+    if "double" in token or "float" in token:
+        return "f64"
+    return "i64"
+
+
+def parse_c_exports(c_source: str) -> Dict[str, Tuple[List[str], str, int]]:
+    """``name -> (arg kinds, return kind, line)`` for non-static functions."""
+    exports: Dict[str, Tuple[List[str], str, int]] = {}
+    for match in _C_EXPORT_RE.finditer(c_source):
+        name = match.group("name")
+        params = match.group("params").strip()
+        if params in ("", "void"):
+            kinds: List[str] = []
+        else:
+            kinds = [_c_arg_kind(tok) for tok in params.split(",")]
+        ret = "void" if match.group("ret") == "void" else (
+            "f64" if match.group("ret") == "double" else "i64"
+        )
+        line = c_source.count("\n", 0, match.start()) + 1
+        exports[name] = (kinds, ret, line)
+    return exports
+
+
+def _ctype_kind(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Kind of one argtype/restype expression, via the module's aliases."""
+    if isinstance(node, ast.Constant) and node.value is None:
+        return "void"
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id)
+    if isinstance(node, ast.Attribute):  # ctypes.c_double etc.
+        return _kind_of_ctypes_name(node.attr)
+    return None
+
+
+def _kind_of_ctypes_name(name: str) -> Optional[str]:
+    if name in ("c_double", "c_float"):
+        return "f64"
+    if name in ("c_void_p", "c_char_p", "POINTER"):
+        return "ptr"
+    if name.startswith("c_"):
+        return "i64"
+    return None
+
+
+def parse_ctypes_signatures(
+    py_source: str, path: str = "_ckernels.py"
+) -> Tuple[Dict[str, Tuple[List[str], str, int]], List[Finding]]:
+    """``name -> (arg kinds, return kind, line)`` from the _SIGNATURES dict."""
+    problems: List[Finding] = []
+    try:
+        tree = ast.parse(py_source, filename=path)
+    except SyntaxError as exc:
+        return {}, [
+            Finding(path, exc.lineno or 0, "kernel-drift", f"unparseable: {exc.msg}")
+        ]
+    aliases: Dict[str, str] = {}
+    signatures_node: Optional[ast.Dict] = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(node.value, ast.Attribute):
+                kind = _kind_of_ctypes_name(node.value.attr)
+                if kind is not None:
+                    aliases[target.id] = kind
+            if target.id == "_SIGNATURES" and isinstance(node.value, ast.Dict):
+                signatures_node = node.value
+    if signatures_node is None:
+        return {}, [
+            Finding(path, 0, "kernel-drift", "no _SIGNATURES dict found")
+        ]
+    signatures: Dict[str, Tuple[List[str], str, int]] = {}
+    for key, value in zip(signatures_node.keys, signatures_node.values):
+        if not isinstance(key, ast.Constant) or not isinstance(key.value, str):
+            continue
+        name, line = key.value, key.lineno
+        if (
+            not isinstance(value, ast.Tuple)
+            or len(value.elts) != 2
+            or not isinstance(value.elts[0], (ast.List, ast.Tuple))
+        ):
+            problems.append(
+                Finding(
+                    path, line, "kernel-drift",
+                    f"_SIGNATURES[{name!r}] is not an (argtypes, restype) pair",
+                )
+            )
+            continue
+        kinds: List[str] = []
+        for element in value.elts[0].elts:
+            kind = _ctype_kind(element, aliases)
+            if kind is None:
+                problems.append(
+                    Finding(
+                        path, element.lineno, "kernel-drift",
+                        f"_SIGNATURES[{name!r}] has an unrecognised argtype",
+                    )
+                )
+                kind = "?"
+            kinds.append(kind)
+        ret = _ctype_kind(value.elts[1], aliases)
+        if ret is None:
+            problems.append(
+                Finding(
+                    path, line, "kernel-drift",
+                    f"_SIGNATURES[{name!r}] has an unrecognised restype",
+                )
+            )
+            ret = "?"
+        signatures[name] = (kinds, ret, line)
+    return signatures, problems
+
+
+# ----------------------------------------------------------- RNG constants
+
+def _c_function_body(c_source: str, name: str) -> Optional[str]:
+    match = re.search(rf"\b{re.escape(name)}\s*\([^)]*\)\s*\{{", c_source)
+    if match is None:
+        return None
+    depth, start = 0, match.end() - 1
+    for index in range(start, len(c_source)):
+        if c_source[index] == "{":
+            depth += 1
+        elif c_source[index] == "}":
+            depth -= 1
+            if depth == 0:
+                return c_source[start : index + 1]
+    return None
+
+
+def _ints_in_c(body: str) -> List[int]:
+    return [int(tok, 0) for tok in _INT_RE.findall(body)]
+
+def _floats_in_c(body: str) -> List[float]:
+    return [float(tok) for tok in _FLOAT_RE.findall(body)]
+
+
+def _python_method_constants(
+    py_source: str, class_name: str, method: str, path: str
+) -> Optional[Tuple[List[int], List[float]]]:
+    """Int/float constants of ``class_name.method`` — falling back to a
+    module-level ``def method`` (the mirror keeps ``_splitmix64`` free)."""
+    try:
+        tree = ast.parse(py_source, filename=path)
+    except SyntaxError:
+        return None
+    target: Optional[ast.FunctionDef] = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == method:
+                    target = item
+    if target is None:
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == method:
+                target = node
+    if target is None:
+        return None
+    ints: List[int] = []
+    floats: List[float] = []
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Constant) and not isinstance(sub.value, bool):
+            if isinstance(sub.value, int):
+                ints.append(sub.value)
+            elif isinstance(sub.value, float):
+                floats.append(sub.value)
+    return ints, floats
+
+
+_MASK64 = (1 << 64) - 1
+#: Array indices and trivial structure constants, excluded from the
+#: shift/multiplier comparison (both sides index s[0..3]).
+_STRUCTURAL = {0, 1, 2, 3, 4, 64}
+
+
+def _rng_constant_findings(
+    c_source: str, mirror_source: str, c_path: str, mirror_path: str
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def compare(
+        c_fn: str,
+        py_method: str,
+        pick_ints,
+        pick_floats=None,
+        what: str = "constants",
+    ) -> None:
+        body = _c_function_body(c_source, c_fn)
+        if body is None:
+            findings.append(
+                Finding(
+                    c_path, 0, "rng-drift",
+                    f"cannot locate RNG primitive {c_fn}() in the C kernels",
+                )
+            )
+            return
+        extracted = _python_method_constants(
+            mirror_source, "Xoshiro256", py_method, mirror_path
+        )
+        if extracted is None:
+            findings.append(
+                Finding(
+                    mirror_path, 0, "rng-drift",
+                    f"cannot locate Xoshiro256.{py_method} in the mirror",
+                )
+            )
+            return
+        py_ints, py_floats = extracted
+        c_side = sorted(pick_ints(_ints_in_c(body)))
+        py_side = sorted(pick_ints(py_ints))
+        if c_side != py_side:
+            findings.append(
+                Finding(
+                    mirror_path, 0, "rng-drift",
+                    f"{what} disagree between {c_fn}() and "
+                    f"Xoshiro256.{py_method}: C={c_side} mirror={py_side}",
+                )
+            )
+        if pick_floats is not None:
+            c_f = sorted(pick_floats(_floats_in_c(body)))
+            py_f = sorted(pick_floats(py_floats))
+            if c_f != py_f:
+                findings.append(
+                    Finding(
+                        mirror_path, 0, "rng-drift",
+                        f"float constants disagree between {c_fn}() and "
+                        f"Xoshiro256.{py_method}: C={c_f} mirror={py_f}",
+                    )
+                )
+
+    # splitmix64: the three 64-bit mixing constants (mask excluded).
+    compare(
+        "wk_splitmix64",
+        "_splitmix64",
+        lambda ints: [i for i in ints if i >= (1 << 32) and i != _MASK64],
+        what="splitmix64 mixing constants",
+    )
+    # xoshiro output/advance: multipliers 5 & 9, rotations 7 & 45, shift 17.
+    compare(
+        "wk_next",
+        "next_u64",
+        lambda ints: [
+            i
+            for i in ints
+            if i < (1 << 32) and i not in _STRUCTURAL
+        ],
+        what="xoshiro shift/multiplier set",
+    )
+    # double conversion: >> 11 and the 2^53 divisor.
+    compare(
+        "wk_double",
+        "random",
+        lambda ints: [i for i in ints if i not in _STRUCTURAL and i < (1 << 32)],
+        pick_floats=lambda floats: [f for f in floats if f != 1.0],
+        what="double-conversion constants",
+    )
+    return findings
+
+
+# ----------------------------------------------------------------- driver
+
+def check_files(
+    c_path: Path, ctypes_path: Path, mirror_path: Path
+) -> List[Finding]:
+    """Cross-check the kernel trio; paths are parameters so tests can point
+    the checker at deliberately perturbed copies."""
+    findings: List[Finding] = []
+    try:
+        c_source = c_path.read_text(encoding="utf-8")
+        py_source = ctypes_path.read_text(encoding="utf-8")
+        mirror_source = mirror_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Finding(str(exc.filename), 0, "kernel-drift", f"unreadable: {exc}")]
+
+    c_name, py_name = str(c_path), str(ctypes_path)
+    exports = parse_c_exports(c_source)
+    signatures, problems = parse_ctypes_signatures(py_source, py_name)
+    findings.extend(problems)
+
+    for name, (kinds, ret, line) in sorted(exports.items()):
+        if name not in signatures:
+            findings.append(
+                Finding(
+                    c_name, line, "kernel-drift",
+                    f"C export {name}() has no ctypes _SIGNATURES entry",
+                )
+            )
+            continue
+        py_kinds, py_ret, py_line = signatures[name]
+        if len(kinds) != len(py_kinds):
+            findings.append(
+                Finding(
+                    py_name, py_line, "kernel-drift",
+                    f"{name}: C takes {len(kinds)} args but argtypes lists "
+                    f"{len(py_kinds)}",
+                )
+            )
+        else:
+            for index, (c_kind, p_kind) in enumerate(zip(kinds, py_kinds)):
+                if c_kind != p_kind:
+                    findings.append(
+                        Finding(
+                            py_name, py_line, "kernel-drift",
+                            f"{name}: arg {index} is {c_kind} in C but "
+                            f"{p_kind} in argtypes",
+                        )
+                    )
+        if ret != py_ret:
+            findings.append(
+                Finding(
+                    py_name, py_line, "kernel-drift",
+                    f"{name}: C returns {ret} but restype says {py_ret}",
+                )
+            )
+    for name, (_kinds, _ret, line) in sorted(signatures.items()):
+        if name not in exports:
+            findings.append(
+                Finding(
+                    py_name, line, "kernel-drift",
+                    f"_SIGNATURES entry {name!r} has no exported C definition",
+                )
+            )
+
+    findings.extend(
+        _rng_constant_findings(c_source, mirror_source, c_name, str(mirror_path))
+    )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.message))

@@ -1,0 +1,393 @@
+"""Lock-order and blocking-while-locked analysis for the service layer.
+
+Rules
+-----
+``lock-order``
+    The static lock-acquisition graph of a class contains a cycle: two code
+    paths take the same pair of locks in opposite orders, which is the
+    classic deadlock shape.
+``lock-blocking``
+    A blocking operation runs while a lock is held, stalling every other
+    thread that needs the lock: SQLite commits, ``queue.get``,
+    ``future.result``, sleeps, thread/process joins, process spawns,
+    ``Event.wait`` on foreign events, and ``yield`` inside a ``with lock:``
+    block (the caller's arbitrary code then runs under the lock).
+
+Scope and method
+----------------
+Per class: discover lock attributes (``self.x = threading.Lock()`` /
+``RLock`` / ``Condition`` / ``Semaphore``), canonicalising aliases —
+``threading.Condition(self._lock)`` *is* ``self._lock``.  Walk each method
+with a stack of held locks driven by ``with self.<lock>:`` blocks.
+Blocking calls are recognised both directly and through self-method calls
+(``self._spawn()`` under a lock is charged with the ``proc.start()`` inside
+``_spawn``), propagated to a fixpoint.  Lambdas and nested ``def``s execute
+later, outside the lock, so they are walked with an empty stack.
+
+A ``@contextmanager`` helper that yields under a lock is reported once, at
+the ``yield`` (the caller's with-block body runs under the lock); the lock
+is deliberately *not* propagated into callers, because a branch-dependent
+lock (the :memory:-store shape) would otherwise flag every file-backed call
+site too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+
+__all__ = ["check_source"]
+
+_LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+
+#: Receiver-name fragments that mark ``.start()`` as a process spawn (a
+#: bare ``thread.start()`` is cheap; forking/spawning a process is not).
+_PROCESS_HINTS = ("proc", "process", "pool", "worker")
+
+#: Receiver-name fragments that mark ``.get()`` as a queue read.
+_QUEUE_HINTS = ("queue", "_q")
+
+
+def _attr_chain(node: ast.expr) -> Optional[List[str]]:
+    """``self.a.b`` -> ``["self", "a", "b"]``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    chain = _attr_chain(node)
+    if chain is not None and len(chain) == 2 and chain[0] == "self":
+        return chain[1]
+    return None
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    """Last identifier of the call receiver, for hint matching."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_timeout_style_args(call: ast.Call) -> bool:
+    """True for ``x.join()`` / ``x.join(5)`` / ``x.join(timeout=...)`` —
+    the thread/process shape — and False for ``sep.join(iterable)`` /
+    ``os.path.join(a, b)``."""
+    if call.keywords:
+        return all(kw.arg == "timeout" for kw in call.keywords) and len(call.args) == 0
+    if len(call.args) == 0:
+        return True
+    if len(call.args) == 1:
+        arg = call.args[0]
+        return isinstance(arg, ast.Constant) and isinstance(arg.value, (int, float))
+    return False
+
+
+def _collect_lock_attrs(cls: ast.ClassDef) -> Dict[str, str]:
+    """Map lock attribute name -> canonical lock name (alias-resolved)."""
+    canonical: Dict[str, str] = {}
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func_chain = _attr_chain(node.value.func)
+        if func_chain is None or func_chain[-1] not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            arg_attr = (
+                _self_attr(node.value.args[0]) if node.value.args else None
+            )
+            if func_chain[-1] == "Condition" and arg_attr is not None:
+                # Condition(self._lock) shares the mutex with self._lock.
+                aliases[attr] = arg_attr
+            else:
+                canonical[attr] = attr
+    for alias, target in aliases.items():
+        canonical[alias] = canonical.get(target, target)
+    return canonical
+
+
+def _is_contextmanager(func: ast.FunctionDef) -> bool:
+    for deco in func.decorator_list:
+        chain = _attr_chain(deco) if not isinstance(deco, ast.Call) else None
+        if chain and chain[-1] == "contextmanager":
+            return True
+    return False
+
+
+class _MethodWalk(ast.NodeVisitor):
+    """One method's walk: blocking ops, lock edges, self-calls, yields."""
+
+    def __init__(
+        self,
+        lock_attrs: Dict[str, str],
+        method_names: Set[str],
+    ) -> None:
+        self.lock_attrs = lock_attrs
+        self.method_names = method_names
+        self.held: List[str] = []
+        #: (line, description) blocking ops at lock depth 0 (for summaries).
+        self.unlocked_blocking: List[Tuple[int, str]] = []
+        #: (line, description, held-locks) blocking ops under a lock.
+        self.locked_blocking: List[Tuple[int, str, Tuple[str, ...]]] = []
+        #: (line, callee, held-locks) self-method calls under a lock.
+        self.locked_calls: List[Tuple[int, str, Tuple[str, ...]]] = []
+        #: self-method calls at depth 0 (for transitive summaries).
+        self.unlocked_calls: List[str] = []
+        #: lock-order edges (outer, inner, line).
+        self.edges: List[Tuple[str, str, int]] = []
+        #: yields while a lock is held: (line, held-locks).
+        self.locked_yields: List[Tuple[int, Tuple[str, ...]]] = []
+
+    # -- lock acquisition -------------------------------------------------
+    def _locks_of(self, expr: ast.expr) -> List[str]:
+        attr = _self_attr(expr)
+        if attr is not None and attr in self.lock_attrs:
+            return [self.lock_attrs[attr]]
+        return []
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            for lock in self._locks_of(item.context_expr):
+                if lock not in self.held:
+                    for outer in self.held:
+                        self.edges.append((outer, lock, node.lineno))
+                    self.held.append(lock)
+                    acquired.append(lock)
+            # Still walk the context expression itself (e.g. call args).
+            self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for lock in reversed(acquired):
+            self.held.remove(lock)
+
+    # -- deferred-execution bodies run without the current locks ----------
+    def _visit_deferred(self, node: ast.AST) -> None:
+        saved, self.held = self.held, []
+        try:
+            self.generic_visit(node)
+        finally:
+            self.held = saved
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_deferred(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_deferred(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_deferred(node)
+
+    # -- yields hold the lock across arbitrary caller code ----------------
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if self.held:
+            self.locked_yields.append((node.lineno, tuple(self.held)))
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        if self.held:
+            self.locked_yields.append((node.lineno, tuple(self.held)))
+        self.generic_visit(node)
+
+    # -- calls ------------------------------------------------------------
+    def _blocking_reason(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "sleep":
+                return "sleep()"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        receiver = _receiver_name(func.value)
+        receiver_lc = (receiver or "").lower()
+        if attr == "commit":
+            return "SQLite commit"
+        if attr == "sleep":
+            return f"{receiver}.sleep()"
+        if attr == "result":
+            return "future.result()"
+        if attr == "join" and _is_timeout_style_args(call):
+            if isinstance(func.value, ast.Constant):
+                return None  # "sep".join(...)
+            return f"{receiver}.join()"
+        if attr == "get" and any(hint in receiver_lc for hint in _QUEUE_HINTS):
+            return f"{receiver}.get()"
+        if attr == "wait":
+            wait_lock = _self_attr(func.value)
+            canon = self.lock_attrs.get(wait_lock or "")
+            if canon is not None and canon in self.held:
+                return None  # Condition.wait releases the lock it guards
+            return f"{receiver}.wait()"
+        if attr == "start" and any(hint in receiver_lc for hint in _PROCESS_HINTS):
+            return f"process spawn via {receiver}.start()"
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        reason = self._blocking_reason(node)
+        callee = _self_attr(node.func)
+        is_self_call = callee is not None and callee in self.method_names
+        if self.held:
+            if reason is not None:
+                self.locked_blocking.append(
+                    (node.lineno, reason, tuple(self.held))
+                )
+            if is_self_call:
+                self.locked_calls.append((node.lineno, callee, tuple(self.held)))
+        else:
+            if reason is not None:
+                self.unlocked_blocking.append((node.lineno, reason))
+            if is_self_call:
+                self.unlocked_calls.append(callee)
+        self.generic_visit(node)
+
+
+def _analyze_class(cls: ast.ClassDef, path: str) -> List[Finding]:
+    lock_attrs = _collect_lock_attrs(cls)
+    if not lock_attrs:
+        return []
+    methods = [
+        node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    method_names = {m.name for m in methods}
+    cm_methods = {
+        m.name
+        for m in methods
+        if isinstance(m, ast.FunctionDef) and _is_contextmanager(m)
+    }
+
+    walks: Dict[str, _MethodWalk] = {}
+    for method in methods:
+        walk = _MethodWalk(lock_attrs, method_names)
+        for stmt in method.body:
+            walk.visit(stmt)
+        walks[method.name] = walk
+
+    # Transitive "does this method block when called with a lock held?"
+    summaries: Dict[str, List[str]] = {
+        name: [desc for _line, desc in walk.unlocked_blocking]
+        for name, walk in walks.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, walk in walks.items():
+            for callee in walk.unlocked_calls:
+                for desc in summaries.get(callee, []):
+                    entry = f"{desc} [via self.{callee}()]"
+                    if entry not in summaries[name]:
+                        summaries[name].append(entry)
+                        changed = True
+
+    findings: List[Finding] = []
+    for name, walk in walks.items():
+        for line, desc, held in walk.locked_blocking:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "lock-blocking",
+                    f"{cls.name}.{name} runs {desc} while holding "
+                    f"{'/'.join(held)}",
+                )
+            )
+        for line, callee, held in walk.locked_calls:
+            for desc in summaries.get(callee, []):
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "lock-blocking",
+                        f"{cls.name}.{name} calls self.{callee}() which runs "
+                        f"{desc} while holding {'/'.join(held)}",
+                    )
+                )
+        for line, held in walk.locked_yields:
+            if name in cm_methods:
+                message = (
+                    f"{cls.name}.{name} yields while holding "
+                    f"{'/'.join(held)}: every caller's with-block body "
+                    "runs under the lock"
+                )
+            else:
+                message = (
+                    f"{cls.name}.{name} yields while holding "
+                    f"{'/'.join(held)}: the lock stays held across "
+                    "arbitrary consumer code"
+                )
+            findings.append(Finding(path, line, "lock-blocking", message))
+
+    # Lock-order cycles across the whole class.
+    graph: Dict[str, Set[str]] = {}
+    edge_lines: Dict[Tuple[str, str], int] = {}
+    for walk in walks.values():
+        for outer, inner, line in walk.edges:
+            graph.setdefault(outer, set()).add(inner)
+            edge_lines.setdefault((outer, inner), line)
+    for cycle in _find_cycles(graph):
+        line = edge_lines.get((cycle[0], cycle[1]), 0)
+        findings.append(
+            Finding(
+                path,
+                line,
+                "lock-order",
+                f"{cls.name} acquires locks in a cycle: "
+                + " -> ".join(cycle + [cycle[0]])
+                + " (deadlock possible)",
+            )
+        )
+    return findings
+
+
+def _find_cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Elementary cycles (each reported once, rotated to min node first)."""
+    cycles: Set[Tuple[str, ...]] = set()
+
+    def dfs(node: str, path: List[str], on_path: Set[str]) -> None:
+        for succ in sorted(graph.get(node, ())):
+            if succ in on_path:
+                cycle = path[path.index(succ) :]
+                pivot = cycle.index(min(cycle))
+                cycles.add(tuple(cycle[pivot:] + cycle[:pivot]))
+                continue
+            dfs(succ, path + [succ], on_path | {succ})
+
+    for start in sorted(graph):
+        dfs(start, [start], {start})
+    return [list(cycle) for cycle in sorted(cycles)]
+
+
+def check_source(source: str, path: str) -> List[Finding]:
+    """Run the lock analysis over one module's source."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(path, exc.lineno or 0, "lock-blocking", f"unparseable: {exc.msg}")
+        ]
+    findings: List[Finding] = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            findings.extend(_analyze_class(node, path))
+    return sorted(findings, key=lambda f: (f.line, f.message))

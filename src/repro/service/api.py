@@ -352,6 +352,10 @@ class SolverService:
         #: scheduler Job -> slot permits it holds (portfolio jobs hold more).
         self._job_permits: Dict[int, int] = {}
         self._dispatch_thread: Optional[threading.Thread] = None
+        # Startup claim + completion signal: the slow process spawns in
+        # start() run outside _lock (see start()'s docstring).
+        self._start_claimed = False
+        self._started = threading.Event()
         # One permit per walks_per_job workers: jobs stay *queued in the
         # scheduler* (where they count toward max_depth and remain
         # coalescable/cancellable) until worker slots free up, instead of
@@ -571,15 +575,35 @@ class SolverService:
 
     # ----------------------------------------------------------------- lifecycle
     def start(self) -> None:
-        """Start the pool and the scheduler->pool dispatch thread (idempotent)."""
+        """Start the pool and the scheduler->pool dispatch thread (idempotent).
+
+        Spawning the worker processes takes whole seconds under the spawn
+        start method, so it must happen *outside* ``_lock``: holding the
+        service lock across it would freeze every concurrent ``stats()`` /
+        ``health()`` / ``request()`` call for the duration.  The first
+        caller claims startup under the lock, releases it to do the slow
+        work, and signals ``_started``; racing callers just wait on the
+        event.
+        """
         with self._lock:
-            if self._dispatch_thread is not None:
-                return
+            if self._start_claimed:
+                claimed_elsewhere = True
+            else:
+                self._start_claimed = True
+                claimed_elsewhere = False
+        if claimed_elsewhere:
+            self._started.wait()
+            return
+        try:
             self.pool.start()
-            self._dispatch_thread = threading.Thread(
+            thread = threading.Thread(
                 target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
             )
-            self._dispatch_thread.start()
+            thread.start()
+            with self._lock:
+                self._dispatch_thread = thread
+        finally:
+            self._started.set()
 
     def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
         """Shut down: refuse new requests, drain or abort, release everything."""

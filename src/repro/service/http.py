@@ -151,6 +151,19 @@ class _Handler(BaseHTTPRequestHandler):
             headers={"Retry-After": str(seconds)},
         )
 
+    def _send_504(self, exc: BaseException, request_id: Optional[str] = None) -> None:
+        """Deadline expiry: retrying with a fresh deadline is legitimate, so
+        the 504 carries the same retry contract as the 503/429 rejections."""
+        body: Dict[str, Any] = {
+            "error": str(exc),
+            "status": "deadline",
+            "retry": True,
+            "retry_after": 1,
+        }
+        if request_id is not None:
+            body["request_id"] = request_id
+        self._send_json(504, body, headers={"Retry-After": "1"})
+
     def _tenant(self, payload: Dict[str, Any]) -> Optional[str]:
         """Tenant identity: the body field wins over the X-Repro-Tenant header."""
         tenant = payload.get("tenant") or self.headers.get("X-Repro-Tenant")
@@ -162,6 +175,10 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             health = service.health()
             if health["status"] == "failing":
+                # Failing is (usually) transient — workers respawn, stores
+                # come back — so the 503 keeps the retry contract.
+                health["retry"] = True
+                health["retry_after"] = 5
                 self._send_json(503, health, headers={"Retry-After": "5"})
             else:
                 # "degraded" still answers 200: the immediate tiers serve, so
@@ -256,7 +273,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_503(exc, exc.retry_after)
             return
         except DeadlineExceededError as exc:
-            self._send_json(504, {"error": str(exc), "status": "deadline"})
+            self._send_504(exc)
             return
         except ReproError as exc:
             self._send_json(400, {"error": str(exc)})
@@ -289,9 +306,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(202, {"request_id": request_id, "status": "pending"})
             return
         except DeadlineExceededError as exc:
-            self._send_json(
-                504, {"request_id": request_id, "status": "deadline", "error": str(exc)}
-            )
+            self._send_504(exc, request_id=request_id)
             return
         except RequestSheddedError as exc:
             # A queued job failed while this client waited on it: the

@@ -364,6 +364,22 @@ class AsyncServiceHTTPServer:
             {"Retry-After": str(seconds)},
         )
 
+    @staticmethod
+    def _deadline_response(
+        exc: BaseException, request_id: Optional[str] = None
+    ) -> Tuple[Any, ...]:
+        """Deadline expiry: retrying with a fresh deadline is legitimate, so
+        the 504 carries the same retry contract as the 503/429 rejections."""
+        body: Dict[str, Any] = {
+            "error": str(exc),
+            "status": "deadline",
+            "retry": True,
+            "retry_after": 1,
+        }
+        if request_id is not None:
+            body["request_id"] = request_id
+        return 504, body, False, {"Retry-After": "1"}
+
     def _log(self, request: _HTTPRequest, status: int) -> None:
         if self.verbose:  # pragma: no cover - logging only
             print(f'async-http "{request.method} {request.path}" {status}')
@@ -397,6 +413,9 @@ class AsyncServiceHTTPServer:
                 headers = reply[3] if len(reply) > 3 else None
                 self._log(request, status)
                 close = close or request.close
+                # repro-lint: ignore[async-blocking] -- fires() is a pure
+                # in-memory Bernoulli draw; an executor hop per response
+                # would cost far more than the call it protects.
                 if self.service.http_faults.fires("http.drop"):
                     # Injected connection drop: hang up instead of answering,
                     # so clients exercise their dropped-response handling.
@@ -460,6 +479,8 @@ class AsyncServiceHTTPServer:
     async def _get_healthz(self) -> Tuple[Any, ...]:
         health = await self._call(self.service.health)
         if health["status"] == "failing":
+            health["retry"] = True
+            health["retry_after"] = 5
             return 503, health, False, {"Retry-After": "5"}
         # "degraded" still answers 200: the immediate tiers serve, so load
         # balancers should keep routing; the body says why.
@@ -517,7 +538,7 @@ class AsyncServiceHTTPServer:
         except (CircuitOpenError, ServiceDegradedError) as exc:
             return self._reject(exc, exc.retry_after)
         except DeadlineExceededError as exc:
-            return 504, {"error": str(exc), "status": "deadline"}, False
+            return self._deadline_response(exc)
         except ReproError as exc:
             return 400, {"error": str(exc)}, False
         if wait or service_request.done():
@@ -533,7 +554,7 @@ class AsyncServiceHTTPServer:
     async def _respond_with_result(
         self, request_id: str, *, wait: bool
     ) -> Tuple[int, Dict[str, Any], bool]:
-        service_request = self.service.request(request_id)
+        service_request = await self._call(self.service.request, request_id)
         if service_request is None:
             return 404, {"error": f"unknown request id {request_id!r}"}, False
         if not wait and not service_request.done():
@@ -545,15 +566,7 @@ class AsyncServiceHTTPServer:
         except FutureTimeoutError:
             return 202, {"request_id": request_id, "status": "pending"}, False
         except DeadlineExceededError as exc:
-            return (
-                504,
-                {
-                    "request_id": request_id,
-                    "status": "deadline",
-                    "error": str(exc),
-                },
-                False,
-            )
+            return self._deadline_response(exc, request_id=request_id)
         except RequestSheddedError as exc:
             return self._reject(exc, exc.retry_after)
         except ReproError as exc:
@@ -571,6 +584,8 @@ class AsyncServiceHTTPServer:
         """
         future = service_request.future
         if future.done():
+            # repro-lint: ignore[async-blocking] -- guarded by done(): the
+            # future is already settled, so result() returns immediately.
             return future.result()
         if not wait:
             raise FutureTimeoutError()
@@ -583,11 +598,13 @@ class AsyncServiceHTTPServer:
                 lambda f: None if f.cancelled() else f.exception()
             )
             raise FutureTimeoutError()
+        # repro-lint: ignore[async-blocking] -- asyncio.wait just reported
+        # the wrapper done; result() is a settled-future read.
         return wrapped.result()
 
     # ------------------------------------------------------------------- /cancel
     async def _post_cancel(self, request_id: str) -> Tuple[int, Dict[str, Any], bool]:
-        if self.service.request(request_id) is None:
+        if await self._call(self.service.request, request_id) is None:
             # "No such request" is not the same condition as "too late to
             # cancel": unknown ids are a 404, settled ones a 409.
             return 404, {"error": f"unknown request id {request_id!r}"}, False
@@ -691,7 +708,13 @@ class AsyncServiceHTTPServer:
                 "retry_after": seconds,
             }
         if isinstance(outcome, DeadlineExceededError):
-            return {"status": "error", "code": 504, "error": str(outcome)}
+            return {
+                "status": "error",
+                "code": 504,
+                "error": str(outcome),
+                "retry": True,
+                "retry_after": 1,
+            }
         if isinstance(outcome, ReproError):
             return {"status": "error", "code": 400, "error": str(outcome)}
         service_request: ServiceRequest = outcome
@@ -763,6 +786,8 @@ class AsyncServiceHTTPServer:
                     writer.write(b": keep-alive\r\n\r\n")
                     await writer.drain()
                     continue
+                # repro-lint: ignore[async-blocking] -- getter is in the
+                # done set from asyncio.wait; result() is a settled read.
                 event = getter.result()
                 name = event.get("event", "message")
                 data = json.dumps(event)
@@ -774,7 +799,11 @@ class AsyncServiceHTTPServer:
             pass
         finally:
             disconnect.cancel()
-            self.service.unsubscribe(subscription)
+            # Shielded: if teardown cancels this coroutine mid-await, the
+            # executor job still completes and the subscription is not leaked.
+            await asyncio.shield(
+                self._call(self.service.unsubscribe, subscription)
+            )
 
 
 def serve_async(

@@ -222,6 +222,9 @@ class SolutionStore:
         a pooled (or freshly opened) one for file-backed stores."""
         if self._memory_conn is not None:
             with self._conn_lock:
+                # repro-lint: ignore[lock-blocking] -- serialising SQLite on
+                # the single shared :memory: connection is this lock's whole
+                # purpose; a per-thread connection would see a different db.
                 yield self._memory_conn
             return
         with self._pool_lock:

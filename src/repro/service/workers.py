@@ -357,7 +357,14 @@ class WorkerPool:
 
     # ----------------------------------------------------------------- startup
     def start(self) -> None:
-        """Spawn the worker processes and the collector thread (idempotent)."""
+        """Spawn the worker processes and the collector thread (idempotent).
+
+        The spawns happen *outside* ``_lock``: starting N processes takes
+        whole seconds under the spawn method, and ``submit()`` / ``stats()``
+        need the lock.  ``_started`` flips first (under the lock), so the
+        one claiming thread owns the spawn loop; jobs submitted meanwhile
+        just sit in the mp queue until the workers come up.
+        """
         with self._lock:
             if self._started:
                 return
@@ -367,8 +374,9 @@ class WorkerPool:
                 # spawn, so publishing before the first Process.start() is
                 # enough to arm the workers' injectors.
                 self._fault_plan.install_env()
-            for worker_id in range(self.n_workers):
-                self._procs.append(self._spawn(worker_id))
+        procs = [self._spawn(worker_id) for worker_id in range(self.n_workers)]
+        with self._lock:
+            self._procs.extend(procs)
             self._dispatcher = threading.Thread(
                 target=self._collect_loop, name="repro-pool-collector", daemon=True
             )
@@ -679,10 +687,15 @@ class WorkerPool:
         dead = detector.poll(alive_map)
         if not dead:
             return
+        # Spawn the replacements before taking the lock: a process start can
+        # take seconds under the spawn method, and submit()/stats() callers
+        # must not stall behind it.  Only this liveness thread respawns, so
+        # the unlocked spawns cannot race another respawn of the same slot.
+        replacements = {worker_id: self._spawn(worker_id) for worker_id in dead}
         to_settle: List[PoolJobHandle] = []
         with self._lock:
             for worker_id in dead:
-                self._procs[worker_id] = self._spawn(worker_id)
+                self._procs[worker_id] = replacements[worker_id]
                 self._workers_respawned += 1
                 for handle in list(self._jobs.values()):
                     for walk_index, running_worker in list(handle.running.items()):

@@ -1,0 +1,15 @@
+"""Bad fixture: blocking calls directly on the event loop."""
+
+import time
+
+
+class Handler:
+    async def handle(self):
+        time.sleep(0.1)
+        with open("/tmp/fixture") as fh:
+            data = fh.read()
+        stats = self.service.stats()
+        return stats, data
+
+    async def settle(self, future):
+        return future.result(5.0)

@@ -1,0 +1,36 @@
+"""Bad fixture: every ambient-entropy shape the determinism lint forbids."""
+
+import random
+import time
+
+import numpy as np
+
+from repro.core.rng import ensure_generator
+
+
+def module_draw():
+    return random.random()
+
+
+def system_random():
+    return random.SystemRandom()
+
+
+def legacy_numpy():
+    return np.random.rand(3)
+
+
+def legacy_state():
+    return np.random.RandomState(0)
+
+
+def clock_seed():
+    return time.time()
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def none_seeded_generator():
+    return ensure_generator(None)

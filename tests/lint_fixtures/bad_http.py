@@ -1,0 +1,15 @@
+"""Bad fixture: overload responses that drop the retry contract."""
+
+
+class Handler:
+    def _send_json(self, status, body, headers=None):
+        pass
+
+    def unavailable(self):
+        self._send_json(503, {"error": "overloaded"})
+
+    async def throttled(self):
+        return 429, {"error": "quota"}, False
+
+    def batch_item(self):
+        return {"status": "error", "code": 504, "error": "deadline"}

@@ -1,0 +1,46 @@
+"""Bad fixture: lock-order cycle plus blocking work under a held lock.
+
+Exercised by tests/test_lint.py -- line numbers are asserted exactly, so
+keep edits append-only or update the tests.
+"""
+
+import threading
+import time
+
+
+class Tangled:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._state = threading.Lock()
+        self.conn = None
+        self.jobs_q = None
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                pass
+
+    def commit_under_lock(self):
+        with self._state:
+            self.conn.commit()
+
+    def sleep_under_lock(self):
+        with self._state:
+            time.sleep(0.5)
+
+    def drain_under_lock(self):
+        with self._state:
+            return self.jobs_q.get(timeout=1.0)
+
+    def outer(self):
+        with self._state:
+            self._slow_helper()
+
+    def _slow_helper(self):
+        time.sleep(1.0)

@@ -1,0 +1,13 @@
+"""Bad fixture: suppression comments without the mandatory justification."""
+
+import random
+
+
+def unjustified_inline():
+    return random.random()  # repro-lint: ignore[unseeded-random]
+
+
+def justified_inline():
+    # repro-lint: ignore[unseeded-random] -- fixture demonstrating that a
+    # justified suppression is honoured.
+    return random.random()

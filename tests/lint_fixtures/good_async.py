@@ -1,0 +1,17 @@
+"""Good fixture: blocking work hops through the executor."""
+
+import asyncio
+
+
+class Handler:
+    async def _call(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
+
+    async def handle(self):
+        stats = await self._call(self.service.stats)
+        await asyncio.sleep(0.01)
+        return stats
+
+    def sync_path_is_not_checked(self):
+        return self.service.stats()

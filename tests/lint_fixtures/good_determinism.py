@@ -1,0 +1,25 @@
+"""Good fixture: all entropy flows through seeded constructors."""
+
+import random
+
+import numpy as np
+
+from repro.core.rng import derive_seed, ensure_generator
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(derive_seed(seed, "fixture"))
+
+
+def seeded_local_random():
+    return random.Random(7).random()
+
+
+def ensured(seed):
+    return ensure_generator(seed)
+
+
+def monotonic_is_fine():
+    import time
+
+    return time.perf_counter(), time.monotonic()

@@ -1,0 +1,39 @@
+"""Good fixture: every overload response carries the retry contract."""
+
+
+class Handler:
+    def _send_json(self, status, body, headers=None):
+        pass
+
+    def unavailable(self):
+        self._send_json(
+            503,
+            {"error": "overloaded", "retry": True, "retry_after": 2},
+            headers={"Retry-After": "2"},
+        )
+
+    def built_up_body(self):
+        body = {"error": "overloaded"}
+        body["retry"] = True
+        body["retry_after"] = 2
+        self._send_json(503, body, headers={"Retry-After": "2"})
+
+    async def throttled(self):
+        return (
+            429,
+            {"error": "quota", "retry": True, "retry_after": 1},
+            False,
+            {"Retry-After": "1"},
+        )
+
+    def batch_item(self):
+        return {
+            "status": "error",
+            "code": 504,
+            "error": "deadline",
+            "retry": True,
+            "retry_after": 1,
+        }
+
+    def success_is_unconstrained(self):
+        self._send_json(200, {"ok": True})

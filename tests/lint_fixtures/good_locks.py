@@ -1,0 +1,29 @@
+"""Good fixture: consistent lock order, blocking work outside the lock."""
+
+import threading
+import time
+
+
+class Tidy:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._state = threading.Lock()
+        self.conn = None
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def also_forward(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def commit_outside_lock(self):
+        with self._state:
+            snapshot = dict(vars(self))
+        self.conn.commit()
+        time.sleep(0.01)
+        return snapshot

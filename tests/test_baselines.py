@@ -118,6 +118,18 @@ class TestCPSolver:
         solver = CPBacktrackingSolver()
         assert solver.count_solutions(order) == KNOWN_COSTAS_COUNTS[order]
 
+    def test_count_solutions_is_reproducible(self):
+        """Regression for the unseeded-random fix: counting runs must not
+        draw ambient entropy, so two solvers agree node-for-node."""
+        a = CPBacktrackingSolver()
+        b = CPBacktrackingSolver()
+        assert a.count_solutions(6) == b.count_solutions(6)
+        # Same machinery, same seed: the search statistics line up too.
+        ra = CPBacktrackingSolver().solve(7, seed=123)
+        rb = CPBacktrackingSolver().solve(7, seed=123)
+        assert ra.extra["nodes"] == rb.extra["nodes"]
+        assert list(ra.configuration) == list(rb.configuration)
+
     def test_node_budget_stops_search(self):
         result = CPBacktrackingSolver(CPParameters(max_nodes=3)).solve(12)
         assert not result.solved

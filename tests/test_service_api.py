@@ -404,3 +404,90 @@ class TestProgressSubscriptions:
                 terminal = event
                 break
         assert terminal is not None and terminal["event"] == "cancelled"
+
+
+class TestStartConcurrency:
+    """Regression tests for the lock-blocking fix in ``start()``: worker
+    spawning takes whole seconds, so it must run outside the service lock
+    (rule ``lock-blocking``, see DESIGN.md enforced invariants)."""
+
+    def test_stats_not_blocked_while_pool_starts(self, tmp_path):
+        config = ServiceConfig(store_path=":memory:", n_workers=1)
+        service = SolverService(config)
+        pool_starting = threading.Event()
+        release_pool = threading.Event()
+        original_start = service.pool.start
+
+        def slow_start():
+            pool_starting.set()
+            assert release_pool.wait(timeout=10.0)
+            original_start()
+
+        service.pool.start = slow_start
+        starter = threading.Thread(target=service.start)
+        starter.start()
+        try:
+            assert pool_starting.wait(timeout=5.0)
+            # The pool is mid-start; the service lock must be free for
+            # monitoring calls.
+            stats_done = threading.Event()
+
+            def poll():
+                service.stats()
+                stats_done.set()
+
+            threading.Thread(target=poll, daemon=True).start()
+            assert stats_done.wait(timeout=2.0), (
+                "stats() blocked behind pool start"
+            )
+        finally:
+            release_pool.set()
+            starter.join(timeout=10.0)
+            service.close(drain=False, timeout=5.0)
+
+    def test_concurrent_start_spawns_pool_once(self, tmp_path):
+        config = ServiceConfig(store_path=":memory:", n_workers=1)
+        service = SolverService(config)
+        calls = []
+        calls_lock = threading.Lock()
+        original_start = service.pool.start
+
+        def counting_start():
+            with calls_lock:
+                calls.append(1)
+            time.sleep(0.1)  # widen the race window
+            original_start()
+
+        service.pool.start = counting_start
+        threads = [threading.Thread(target=service.start) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15.0)
+            assert not t.is_alive()
+        try:
+            assert len(calls) == 1
+            assert service.stats()["pool"]["n_workers"] == 1
+        finally:
+            service.close(drain=False, timeout=5.0)
+
+    def test_pool_start_spawns_outside_pool_lock(self):
+        """Regression for the lock-blocking fix in ``WorkerPool.start()``:
+        process spawning must not run under ``_lock`` (submit/stats need it)."""
+        pool = WorkerPool(1, seed_root=11)
+        lock_was_free = []
+        original_spawn = pool._spawn
+
+        def observing_spawn(worker_id):
+            free = pool._lock.acquire(timeout=1.0)
+            if free:
+                pool._lock.release()
+            lock_was_free.append(free)
+            return original_spawn(worker_id)
+
+        pool._spawn = observing_spawn
+        try:
+            pool.start()
+            assert lock_was_free == [True], "spawn ran while _lock was held"
+        finally:
+            pool.shutdown(drain=False, timeout=5.0)

@@ -713,6 +713,31 @@ class TestHTTPChaos:
         finally:
             server.stop(drain=False)
 
+    @pytest.mark.parametrize("frontend", ["sync", "async"])
+    def test_failing_healthz_carries_retry_contract(self, tmp_path, frontend):
+        """A failing /healthz is (usually) transient — workers respawn,
+        stores come back — so its 503 must keep the retry contract."""
+        if frontend == "sync":
+            from repro.service.http import ServiceHTTPServer as Server
+        else:
+            from repro.service.http_async import AsyncServiceHTTPServer as Server
+
+        server = Server(
+            ("127.0.0.1", 0),
+            config=ServiceConfig(
+                store_path=str(tmp_path / f"hz-{frontend}.db"), n_workers=1
+            ),
+        )
+        server.start_background()
+        try:
+            server.service.health = lambda: {"status": "failing", "components": {}}
+            status, headers, payload = _http_call(server.port, "GET", "/healthz")
+            assert status == 503
+            assert headers.get("Retry-After")
+            assert payload["retry"] is True and payload["retry_after"] >= 1
+        finally:
+            server.stop(drain=False)
+
     def test_async_deadline_and_health(self, tmp_path):
         from repro.service.http_async import AsyncServiceHTTPServer
 
@@ -727,7 +752,7 @@ class TestHTTPChaos:
             status, _, payload = _http_call(server.port, "GET", "/healthz")
             assert status == 200 and payload["status"] == "ok"
             assert payload["components"]["pool"]["status"] == "ok"
-            status, _, payload = _http_call(
+            status, headers, payload = _http_call(
                 server.port,
                 "POST",
                 "/solve",
@@ -740,6 +765,39 @@ class TestHTTPChaos:
                 },
             )
             assert status == 504 and payload["status"] == "deadline"
+            # Deadline expiry is retryable with a fresh deadline, so the 504
+            # carries the same retry contract as the 503/429 rejections.
+            assert headers.get("Retry-After")
+            assert payload["retry"] is True and payload["retry_after"] >= 1
+        finally:
+            server.stop(drain=False)
+
+    def test_sync_deadline_504_carries_retry_contract(self, tmp_path):
+        from repro.service.http import ServiceHTTPServer
+
+        server = ServiceHTTPServer(
+            ("127.0.0.1", 0),
+            config=ServiceConfig(
+                store_path=str(tmp_path / "sync504.db"), n_workers=1
+            ),
+        )
+        server.start_background()
+        try:
+            status, headers, payload = _http_call(
+                server.port,
+                "POST",
+                "/solve",
+                {
+                    "order": 20,
+                    "wait": True,
+                    "deadline": 0.02,
+                    "use_store": False,
+                    "use_constructions": False,
+                },
+            )
+            assert status == 504 and payload["status"] == "deadline"
+            assert headers.get("Retry-After")
+            assert payload["retry"] is True and payload["retry_after"] >= 1
         finally:
             server.stop(drain=False)
 
